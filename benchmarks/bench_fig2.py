@@ -1,0 +1,34 @@
+"""Fig 2: BFS time and data-structure construction box plots.
+
+Paper artifact (scale 22, 32 threads, log y-axis): BFS times span
+0.01-2 s with GAP ~0.016, Graph500 ~0.019, GraphBIG ~1.6, GraphMat
+~1.42; construction spans 1.0-3.5 s for GAP / Graph500 / GraphMat,
+with the Graph500 constructing once and GraphBIG omitted (fused load).
+"""
+
+from conftest import write_artifact
+
+from repro.core.report import figure_series
+
+
+def test_fig2(benchmark, kron_experiment):
+    _, analysis = kron_experiment
+    out = benchmark.pedantic(figure_series, args=(analysis, "fig2"),
+                             rounds=1, iterations=1)
+    write_artifact("fig2.txt", out)
+    print("\n" + out)
+
+    box = analysis.box("time")
+    times = {k[0]: v.median for k, v in box.items() if k[1] == "bfs"}
+    # Orderings of the left panel.
+    assert times["gap"] == min(times.values())
+    assert times["graphbig"] > 10 * times["gap"]
+    assert "powergraph" not in times          # no BFS
+
+    builds = analysis.construction_box("bfs")
+    # Right panel: only the separable-construction systems appear.
+    assert set(k[0] for k in builds) == {"gap", "graph500", "graphmat"}
+    assert builds[("graph500", "bfs")].n == 1  # constructs once
+    # GAP's construction is the fastest of the three (paper ratio ~2.6x).
+    assert builds[("gap", "bfs")].median == min(
+        b.median for b in builds.values())

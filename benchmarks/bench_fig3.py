@@ -1,0 +1,35 @@
+"""Fig 3: SSSP time and construction box plots.
+
+Paper artifact (scale 22, 32 threads): SSSP times 0.1-2 s; GAP the
+clear winner, PowerGraph slowest (engine overhead); the same 32 roots
+as Fig 2; construction shown only for GAP and GraphMat (PowerGraph and
+GraphBIG build while reading).
+"""
+
+from conftest import write_artifact
+
+from repro.core.report import figure_series
+
+
+def test_fig3(benchmark, kron_experiment):
+    _, analysis = kron_experiment
+    out = benchmark.pedantic(figure_series, args=(analysis, "fig3"),
+                             rounds=1, iterations=1)
+    write_artifact("fig3.txt", out)
+    print("\n" + out)
+
+    box = analysis.box("time")
+    times = {k[0]: v.median for k, v in box.items() if k[1] == "sssp"}
+    assert set(times) == {"gap", "graphbig", "graphmat", "powergraph"}
+    assert times["gap"] == min(times.values())
+    assert times["powergraph"] == max(times.values())
+
+    builds = analysis.construction_box("sssp")
+    assert set(k[0] for k in builds) == {"gap", "graphmat"}
+    # "The data structure construction times for GAP and GraphMat are
+    # consistent" across BFS and SSSP (same structure).
+    bfs_builds = analysis.construction_box("bfs")
+    for system in ("gap", "graphmat"):
+        a = builds[(system, "sssp")].median
+        b = bfs_builds[(system, "bfs")].median
+        assert abs(a - b) / b < 0.2

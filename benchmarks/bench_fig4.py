@@ -1,0 +1,36 @@
+"""Fig 4: PageRank time box plots and iteration counts.
+
+Paper artifact (scale 22, 32 threads, homogenized epsilon = 6e-8 except
+GraphMat's run-until-no-change): GAP fastest *and* fewest iterations;
+GraphMat the most iterations; times span 0.2-100 s.
+
+Reduced-scale caveat (EXPERIMENTS.md): GraphBIG's iteration count grows
+with graph mixing time, so its paper-scale "slowest PageRank" rank
+appears only above scale ~20; at bench scale PowerGraph's engine
+startup is the largest absolute time instead.
+"""
+
+from conftest import write_artifact
+
+from repro.core.report import figure_series
+
+
+def test_fig4(benchmark, kron_experiment):
+    _, analysis = kron_experiment
+    out = benchmark.pedantic(figure_series, args=(analysis, "fig4"),
+                             rounds=1, iterations=1)
+    write_artifact("fig4.txt", out)
+    print("\n" + out)
+
+    box = analysis.box("time")
+    times = {k[0]: v.median for k, v in box.items() if k[1] == "pagerank"}
+    iters = analysis.iterations("pagerank")
+
+    assert times["gap"] == min(times.values())
+    assert iters["gap"] == min(iters.values())
+    assert iters["graphmat"] == max(iters.values())
+    # The paper's RSD remark: PR spreads tighter than SSSP per system.
+    for system in ("gap", "graphbig", "graphmat"):
+        pr_rsd = box[(system, "pagerank", analysis.datasets()[0], 32)].rsd
+        ss_rsd = box[(system, "sssp", analysis.datasets()[0], 32)].rsd
+        assert pr_rsd < ss_rsd

@@ -1,0 +1,70 @@
+"""Fig 5: BFS speedup, scale-23 Kronecker graph, threads 1..72.
+
+Paper artifact: log-log speedup curves for GraphBIG, Graph500,
+GraphMat, GAP against the ideal line; GAP most scalable, GraphMat
+passing it at 72 threads, Graph500 below 1 at 2 threads, GraphBIG
+flattest; only 4 trials per point.
+
+Two outputs: the calibrated projection at the paper's scale 23 (the
+figure itself) and a real-kernel sweep at bench scale (where fixed
+per-invocation costs -- genuinely -- flatten every curve).
+"""
+
+import pytest
+from conftest import BENCH_ROOTS, write_artifact
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.projection import PAPER_SCALING_SCALE, projected_scalability
+from repro.core.report import format_series
+
+SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
+THREADS = (1, 2, 4, 8, 16, 32, 64, 72)
+
+
+def _project():
+    return {s: projected_scalability(s, thread_counts=THREADS)
+            for s in SYSTEMS}
+
+
+def test_fig5_projection(benchmark):
+    tables = benchmark.pedantic(_project, rounds=1, iterations=1)
+    out = format_series(
+        f"Fig 5: BFS speedup T1/Tn, Kronecker scale "
+        f"{PAPER_SCALING_SCALE} (projected)",
+        "threads", list(THREADS),
+        {s: tables[s].speedup() for s in SYSTEMS})
+    write_artifact("fig5.txt", out)
+    print("\n" + out)
+
+    sp = {s: dict(zip(THREADS, tables[s].speedup())) for s in SYSTEMS}
+    assert sp["graph500"][2] < 1.0            # the dip
+    assert sp["gap"][32] == max(v[32] for v in sp.values())
+    assert sp["graphmat"][72] > sp["gap"][72]  # crossover at 72
+    assert sp["graphbig"][72] == min(v[72] for v in sp.values())
+
+
+@pytest.fixture(scope="module")
+def real_sweep(tmp_path_factory):
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp("fig5"),
+        dataset="kronecker", scale=12, n_roots=4,
+        algorithms=("bfs",), thread_counts=THREADS)
+    return Experiment(cfg).run_all()
+
+
+def test_fig5_real_kernels(benchmark, real_sweep):
+    def series():
+        return {s: real_sweep.scalability(s, "bfs").speedup()
+                for s in SYSTEMS}
+
+    sp = benchmark.pedantic(series, rounds=1, iterations=1)
+    out = format_series(
+        "Fig 5 (bench-scale real kernels): BFS speedup",
+        "threads", list(THREADS), sp)
+    write_artifact("fig5_real.txt", out)
+    print("\n" + out)
+    by = {s: dict(zip(THREADS, v)) for s, v in sp.items()}
+    assert by["graph500"][2] < 1.0
+    for s in SYSTEMS:
+        assert by[s][32] > 1.0

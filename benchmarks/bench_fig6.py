@@ -1,0 +1,43 @@
+"""Fig 6: BFS parallel efficiency T1/(n*Tn), scale-23 Kronecker.
+
+Paper artifact: efficiency curves with the ideal horizontal line at
+1.0; Graph500 dipping below 0.5 at 2 threads; all systems below ~0.4
+by 64 threads ("generally poor scaling for this size problem").
+"""
+
+from conftest import write_artifact
+
+from repro.core.projection import PAPER_SCALING_SCALE, projected_scalability
+from repro.core.report import format_series
+
+SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
+THREADS = (1, 2, 4, 8, 16, 32, 64, 72)
+
+
+def _project():
+    return {s: projected_scalability(s, thread_counts=THREADS)
+            for s in SYSTEMS}
+
+
+def test_fig6_projection(benchmark):
+    tables = benchmark.pedantic(_project, rounds=1, iterations=1)
+    eff = {s: tables[s].efficiency() for s in SYSTEMS}
+    out = format_series(
+        f"Fig 6: BFS parallel efficiency T1/(n*Tn), scale "
+        f"{PAPER_SCALING_SCALE} (projected)",
+        "threads", list(THREADS), eff)
+    write_artifact("fig6.txt", out)
+    print("\n" + out)
+
+    by = {s: dict(zip(THREADS, eff[s])) for s in SYSTEMS}
+    # Graph500's 2-thread efficiency is below 0.5 (speedup < 1).
+    assert by["graph500"][2] < 0.5
+    # Everyone's serial efficiency is exactly 1.
+    for s in SYSTEMS:
+        assert by[s][1] == 1.0
+    # Poor scaling: all below 0.5 efficiency at 64 threads.
+    for s in SYSTEMS:
+        assert by[s][64] < 0.5
+    # Efficiency ordering at 72: GraphMat >= GAP > Graph500 > GraphBIG.
+    assert by["graphmat"][72] >= by["gap"][72]
+    assert by["gap"][72] > by["graph500"][72] > by["graphbig"][72]

@@ -1,0 +1,49 @@
+"""Fig 8: real-world dataset comparison (EPG* averages).
+
+Paper artifact: mean runtimes per {BFS, PageRank, SSSP} x {dota,
+Patents} x {GAP, GraphBIG, GraphMat, PowerGraph}; the BFS panel has no
+PowerGraph bar (no BFS implementation); PowerGraph's vertex cut likes
+the dense dota-league for SSSP; GraphBIG is the slowest PageRank but
+strong at dota BFS; GraphMat does well across dota-league.
+"""
+
+from conftest import write_artifact
+
+from repro.core.report import figure_series
+
+
+def test_fig8(benchmark, realworld_experiments):
+    dota_exp, dota = realworld_experiments["dota-league"]
+    pat_exp, pat = realworld_experiments["cit-patents"]
+
+    def render():
+        from repro.core.analysis import Analysis
+
+        merged = Analysis(dota.records + pat.records,
+                          machine=dota.machine)
+        return merged, figure_series(merged, "fig8")
+
+    merged, out = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_artifact("fig8.txt", out)
+    print("\n" + out)
+
+    # No PowerGraph BFS anywhere.
+    assert not any(k[0] == "powergraph" and k[1] == "bfs"
+                   for k in merged.box("time"))
+    assert "N/A" in out
+
+    # GraphBIG slowest PageRank among the shared-memory frameworks.
+    for ds in ("dota-league", "cit-Patents"):
+        t = {s: merged.median_time(s, "pagerank", ds)
+             for s in ("gap", "graphbig", "graphmat")}
+        assert t["graphbig"] == max(t.values()), ds
+
+    # Density amortization: GraphBIG's per-edge BFS cost improves on the
+    # denser dota-league (the paper's dota BFS standout, Sec. IV-C).
+    m_dota = dota_exp.dataset.n_edges * 2
+    m_pat = pat_exp.dataset.n_edges
+    per_edge_dota = merged.median_time("graphbig", "bfs",
+                                       "dota-league") / m_dota
+    per_edge_pat = merged.median_time("graphbig", "bfs",
+                                      "cit-Patents") / m_pat
+    assert per_edge_dota < per_edge_pat

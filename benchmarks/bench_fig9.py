@@ -1,0 +1,40 @@
+"""Fig 9: RAM and CPU power during BFS (box plots over 32 roots).
+
+Paper artifact (scale 22, 32 threads): CPU power 20-100 W with the
+sleep(10) baseline near 25 W; RAM power 10-20 W; GraphMat lowest RAM
+power; the Graph500 contributes a single point (all roots in one
+execution, one RAPL window).
+"""
+
+from conftest import write_artifact
+
+from repro.core.report import figure_series
+from repro.machine.spec import haswell_server
+
+
+def test_fig9(benchmark, kron_experiment):
+    _, analysis = kron_experiment
+    out = benchmark.pedantic(figure_series, args=(analysis, "fig9"),
+                             rounds=1, iterations=1)
+    machine = haswell_server()
+    out += (f"\n\nsleep baseline: CPU {machine.idle_pkg_watts:.2f} W, "
+            f"RAM {machine.idle_dram_watts:.2f} W")
+    write_artifact("fig9.txt", out)
+    print("\n" + out)
+
+    cpu = analysis.power_box("pkg_watts", "bfs")
+    ram = analysis.power_box("dram_watts", "bfs")
+
+    # Band checks (paper y-axes).
+    for system, b in cpu.items():
+        assert machine.idle_pkg_watts < b.mean <= 110.0, system
+    for system, b in ram.items():
+        assert machine.idle_dram_watts < b.mean <= 22.0, system
+
+    # GraphMat lowest RAM power (paper callout).
+    ram_means = {s: b.mean for s, b in ram.items()}
+    assert ram_means["graphmat"] == min(ram_means.values())
+    # Graph500: one data point.
+    assert cpu["graph500"].n == 1
+    # Everyone sits above the sleep baseline.
+    assert min(b.minimum for b in cpu.values()) > machine.idle_pkg_watts

@@ -1,0 +1,62 @@
+"""Table II: Graphalytics on the Kronecker graph used everywhere else.
+
+Paper artifact (scale 22, 32 threads, seconds):
+
+==========================  ========  ========  ==========
+algorithm                   GraphMat  GraphBIG  PowerGraph
+==========================  ========  ========  ==========
+Community Detection (CDLP)      45.8       7.4        55.6
+PageRank                         8.9       4.7        46.4
+Local Clustering Coeff.          401    1802.7       299.8
+Weakly Conn. Comp.               7.4       2.4        40.5
+BFS                             10.3       1.8          43
+==========================  ========  ========  ==========
+
+No SSSP row: "Graphalytics by default does not perform SSSP on
+unweighted, undirected graphs" -- the synthetic graph is treated as
+unweighted by Graphalytics even though EPG* generated weights for it,
+so the harness is driven without the weighted variant here.
+"""
+
+from conftest import write_artifact
+
+from repro.graphalytics import GraphalyticsHarness, render_table
+
+#: Table II's algorithm rows (no SSSP).
+ALGORITHMS = ("cdlp", "pagerank", "lcc", "wcc", "bfs")
+
+
+def _run(dataset):
+    h = GraphalyticsHarness(n_threads=32, seed=7)
+    return h.run_matrix(dataset, algorithms=ALGORITHMS)
+
+
+def test_table2(benchmark, kron_dataset_bench):
+    results = benchmark.pedantic(_run, args=(kron_dataset_bench,),
+                                 rounds=1, iterations=1)
+    table = render_table(
+        results,
+        title="Table II (reduced scale): Graphalytics on the Kronecker "
+              "graph, 32 threads")
+    write_artifact("table2.txt", table)
+    print("\n" + table)
+
+    by_cell = {(r.platform, r.algorithm): r.reported_s for r in results}
+    # LCC is every platform's most expensive kernel (dominant column).
+    for p in ("graphbig", "powergraph", "graphmat"):
+        algo_only = {a: by_cell[(p, a)] for a in ALGORITHMS}
+        assert algo_only["lcc"] == max(algo_only.values()), p
+    # GraphBIG does the most *work* per LCC (1802.7 s at paper scale).
+    # At bench scale PowerGraph's 0.9 s engine startup hides inside its
+    # kernel makespan, so compare above-startup work.
+    from repro.systems import calibration
+
+    algo_cell = {
+        (r.platform, r.algorithm):
+            r.breakdown["algorithm"]
+            - calibration.cost_params(r.platform, "lcc").startup_s
+        for r in results if r.algorithm == "lcc"}
+    assert algo_cell[("graphbig", "lcc")] == max(algo_cell.values())
+    # GraphMat's cells include its load, so its cheap kernels exceed
+    # GraphBIG's (the flaw, again).
+    assert by_cell[("graphmat", "bfs")] > by_cell[("graphbig", "bfs")]

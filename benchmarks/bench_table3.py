@@ -1,0 +1,62 @@
+"""Table III: time / power / energy per BFS root, 32 threads.
+
+Paper artifact (Kronecker scale 22):
+
+===========================  ======  ========  ========  ========
+row                          GAP     Graph500  GraphBIG  GraphMat
+===========================  ======  ========  ========  ========
+Time (s)                     0.01636  0.01884   1.600     1.424
+Average Power per Root (W)   72.38    97.17     78.01     70.12
+Energy per Root (J)          1.184    1.830     112.213   111.104
+Sleeping Energy (J)          0.4046   0.4660    39.591    35.234
+Increase over Sleep          2.926    3.928     2.834     3.153
+===========================  ======  ========  ========  ========
+
+Shape: power anchors are exact by calibration; times scale down with
+the bench graph; the increase-over-sleep ratios are scale-free and land
+in the paper's 2.8-3.9 band.
+"""
+
+from conftest import write_artifact
+
+from repro.core.report import format_table
+
+SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
+
+
+def _energy_table(analysis):
+    return analysis.energy_table("bfs", threads=32)
+
+
+def test_table3(benchmark, kron_experiment):
+    _, analysis = kron_experiment
+    table = benchmark.pedantic(_energy_table, args=(analysis,),
+                               rounds=1, iterations=1)
+
+    rows = {
+        "Time (s)": [f"{table[s].time_s:.5g}" for s in SYSTEMS],
+        "Average Power per Root (W)": [
+            f"{table[s].avg_pkg_watts:.2f}" for s in SYSTEMS],
+        "Energy per Root (J)": [
+            f"{table[s].pkg_energy_j:.4g}" for s in SYSTEMS],
+        "Sleeping Energy (J)": [
+            f"{table[s].sleep_energy_j:.4g}" for s in SYSTEMS],
+        "Increase over Sleep": [
+            f"{table[s].increase_over_sleep:.3f}" for s in SYSTEMS],
+    }
+    out = format_table(
+        "Table III (reduced scale): BFS energy, 32 threads",
+        [s.upper() for s in SYSTEMS], rows)
+    write_artifact("table3.txt", out)
+    print("\n" + out)
+
+    # Paper shapes.
+    powers = {s: table[s].avg_pkg_watts for s in SYSTEMS}
+    assert powers["graph500"] == max(powers.values())
+    assert powers["graphmat"] == min(powers.values())
+    for s in SYSTEMS:
+        assert 2.0 < table[s].increase_over_sleep < 5.0
+    # Fastest == most energy efficient (Sec. IV-D).
+    fastest = min(SYSTEMS, key=lambda s: table[s].time_s)
+    thriftiest = min(SYSTEMS, key=lambda s: table[s].pkg_energy_j)
+    assert fastest == thriftiest

@@ -1,0 +1,83 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate every table and figure of the paper's evaluation
+at reduced scale (see EXPERIMENTS.md for the paper-vs-measured ledger).
+Each bench both *times* the workload under pytest-benchmark and *writes*
+the rendered artifact under ``bench_results/`` so the numbers are
+inspectable after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+#: Reduced-scale stand-in for the paper's scale-22 workload.
+BENCH_SCALE = 12
+#: Roots per graph (paper: 32; reduced for bench wall-time).
+BENCH_ROOTS = 8
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def write_artifact(name: str, content: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def kron_experiment(tmp_path_factory):
+    """One full EPG* run on the Kronecker workload (Figs 2-4, 9, T3)."""
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp("bench-kron"),
+        dataset="kronecker", scale=BENCH_SCALE, n_roots=BENCH_ROOTS,
+        algorithms=("bfs", "sssp", "pagerank"))
+    exp = Experiment(cfg)
+    analysis = exp.run_all()
+    return exp, analysis
+
+
+@pytest.fixture(scope="session")
+def dota_dataset_bench(tmp_path_factory):
+    from repro.datasets.homogenize import homogenize
+    from repro.datasets.realworld import dota_league
+
+    return homogenize(dota_league(), tmp_path_factory.mktemp("dota"))
+
+
+@pytest.fixture(scope="session")
+def patents_dataset_bench(tmp_path_factory):
+    from repro.datasets.homogenize import homogenize
+    from repro.datasets.realworld import cit_patents
+
+    return homogenize(cit_patents(), tmp_path_factory.mktemp("pat"))
+
+
+@pytest.fixture(scope="session")
+def kron_dataset_bench(tmp_path_factory):
+    from repro.datasets.homogenize import homogenize
+    from repro.datasets.kronecker import KroneckerSpec, generate_kronecker
+
+    el = generate_kronecker(KroneckerSpec(scale=BENCH_SCALE,
+                                          weighted=True))
+    return homogenize(el, tmp_path_factory.mktemp("kron-ds"))
+
+
+@pytest.fixture(scope="session")
+def realworld_experiments(tmp_path_factory):
+    """EPG* runs on both real-world stand-ins (Fig 8)."""
+    out = {}
+    for ds in ("dota-league", "cit-patents"):
+        cfg = ExperimentConfig(
+            output_dir=tmp_path_factory.mktemp(f"bench-{ds}"),
+            dataset=ds, n_roots=BENCH_ROOTS,
+            algorithms=("bfs", "sssp", "pagerank"))
+        exp = Experiment(cfg)
+        out[ds] = (exp, exp.run_all())
+    return out

@@ -1,0 +1,77 @@
+"""Power and energy profiling (the paper's Table III / Fig 9 scenario).
+
+Shows both faces of the power API:
+
+1. the high-level harness route -- run BFS on every system with RAPL
+   measurement on and print the Table III accounting; and
+2. the low-level Fig 10 route -- instrument one region by hand with
+   ``power_rapl_init/start/end/print`` against the simulated counters.
+
+Usage::
+
+    python examples/energy_profile.py
+"""
+
+import tempfile
+
+from repro.core import Experiment, ExperimentConfig
+from repro.core.report import figure_series, format_table
+from repro.machine.clock import SimulatedClock
+from repro.machine.spec import haswell_server
+from repro.power.papi import (
+    power_rapl_end,
+    power_rapl_init,
+    power_rapl_print,
+    power_rapl_start,
+)
+
+SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
+
+
+def harness_route() -> None:
+    out = tempfile.mkdtemp(prefix="epg-energy-")
+    cfg = ExperimentConfig(output_dir=out, dataset="kronecker",
+                           scale=12, n_roots=8, algorithms=("bfs",),
+                           measure_power=True)
+    print(f"Running BFS with power capture (output under {out}) ...\n")
+    analysis = Experiment(cfg).run_all()
+
+    table = analysis.energy_table("bfs", threads=32)
+    rows = {
+        "Time (s)": [f"{table[s].time_s:.5g}" for s in SYSTEMS],
+        "Average Power per Root (W)": [
+            f"{table[s].avg_pkg_watts:.2f}" for s in SYSTEMS],
+        "Energy per Root (J)": [
+            f"{table[s].pkg_energy_j:.4g}" for s in SYSTEMS],
+        "Sleeping Energy (J)": [
+            f"{table[s].sleep_energy_j:.4g}" for s in SYSTEMS],
+        "Increase over Sleep": [
+            f"{table[s].increase_over_sleep:.3f}" for s in SYSTEMS],
+    }
+    print(format_table("Table III style: BFS energy accounting",
+                       [s.upper() for s in SYSTEMS], rows))
+    print()
+    print(figure_series(analysis, "fig9"))
+
+
+def fig10_route() -> None:
+    print("\n--- Fig 10 style manual instrumentation ---")
+    machine = haswell_server()
+    clock = SimulatedClock(idle_pkg_watts=machine.idle_pkg_watts,
+                           idle_dram_watts=machine.idle_dram_watts)
+    ps = power_rapl_init(clock)
+    power_rapl_start(ps)
+    # <region of code to profile>: pretend a kernel ran for 16.36 ms at
+    # GAP's Table III power draw.
+    clock.advance(0.01636, pkg_watts=72.38, dram_watts=16.5)
+    power_rapl_end(ps)
+    for line in power_rapl_print(ps):
+        print(line)
+    print(f"-> {ps.package_joules:.4g} J package over "
+          f"{ps.duration_s * 1e3:.2f} ms "
+          f"(paper Table III GAP row: 1.184 J over 16.36 ms)")
+
+
+if __name__ == "__main__":
+    harness_route()
+    fig10_route()

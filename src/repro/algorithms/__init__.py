@@ -1,0 +1,27 @@
+"""Reference graph kernels.
+
+These are the trusted, straightforward implementations of the six
+algorithms the study touches -- BFS, SSSP, PageRank (the paper's three
+"building blocks", Sec. III-D) plus WCC, CDLP and LCC (needed by the
+Graphalytics comparison in Tables I-II).  Every reimplemented system in
+:mod:`repro.systems` is validated against these in the test suite; the
+systems themselves do *not* call into this package (each has its own
+genuinely distinct implementation, as in the paper).
+"""
+
+from repro.algorithms.bfs import bfs_levels, bfs_parents
+from repro.algorithms.cdlp import cdlp
+from repro.algorithms.lcc import local_clustering
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp_dijkstra
+from repro.algorithms.wcc import weakly_connected_components
+
+__all__ = [
+    "bfs_parents",
+    "bfs_levels",
+    "sssp_dijkstra",
+    "pagerank",
+    "weakly_connected_components",
+    "cdlp",
+    "local_clustering",
+]

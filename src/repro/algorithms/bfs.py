@@ -1,0 +1,64 @@
+"""Reference breadth-first search (level-synchronous, vectorized).
+
+One frontier expansion per level: gather all neighbors of the frontier,
+keep the unvisited ones, record parents with "first writer wins"
+semantics resolved deterministically (lowest parent id), matching what a
+sequential textbook BFS would produce so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["bfs_parents", "bfs_levels"]
+
+
+def bfs_parents(graph: CSRGraph, root: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(parent, level)`` arrays for a BFS from ``root``.
+
+    ``parent[v] == -1`` and ``level[v] == -1`` mark unreached vertices;
+    ``parent[root] == root``.
+    """
+    n = graph.n_vertices
+    parent = np.full(n, -1, dtype=np.int64)
+    level = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    level[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        starts = graph.row_ptr[frontier]
+        counts = graph.row_ptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Gather all neighbor slots of the frontier in one shot.
+        idx = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
+                        counts) + np.arange(total)
+        nbrs = graph.col_idx[idx]
+        srcs = np.repeat(frontier, counts)
+        fresh = parent[nbrs] == -1
+        nbrs = nbrs[fresh]
+        srcs = srcs[fresh]
+        if nbrs.size == 0:
+            break
+        # Deterministic tie-break: lowest source id claims the vertex.
+        order = np.lexsort((srcs, nbrs))
+        nbrs_sorted = nbrs[order]
+        srcs_sorted = srcs[order]
+        first = np.ones(nbrs_sorted.size, dtype=bool)
+        first[1:] = nbrs_sorted[1:] != nbrs_sorted[:-1]
+        new_v = nbrs_sorted[first]
+        parent[new_v] = srcs_sorted[first]
+        level[new_v] = depth
+        frontier = new_v
+    return parent, level
+
+
+def bfs_levels(graph: CSRGraph, root: int) -> np.ndarray:
+    """Levels only (cheaper to compare across systems: levels are unique
+    for a given graph and root, while parent trees are not)."""
+    return bfs_parents(graph, root)[1]

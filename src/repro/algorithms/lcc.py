@@ -1,0 +1,79 @@
+"""Reference local clustering coefficient (LCC).
+
+For every vertex ``v`` with neighborhood ``N(v)`` (union of in- and
+out-neighbors, self-loops excluded), LCC is the number of arcs between
+members of ``N(v)`` divided by ``d(d-1)`` where ``d = |N(v)|`` -- the
+Graphalytics definition, which is what Tables I-II time.  LCC is by far
+the most expensive kernel in those tables (dota-league's dense
+neighborhoods produce enormous wedge counts), which this implementation
+preserves: cost scales with ``sum_v d(v)^2``.
+
+Computed with batched sparse matrix products so the ``A @ A``
+intermediate never materializes for the whole graph at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["local_clustering", "lcc_wedge_count"]
+
+
+def _undirected_pattern(graph: CSRGraph) -> sp.csr_matrix:
+    """0/1 symmetric adjacency without self-loops or duplicates."""
+    n = graph.n_vertices
+    src = graph.source_ids()
+    dst = graph.col_idx
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    a = sp.csr_matrix(
+        (np.ones(src.size, dtype=np.int64), (src, dst)), shape=(n, n))
+    a = a + a.T
+    a.data[:] = 1
+    a.sum_duplicates()
+    a.data[:] = 1
+    return a.tocsr()
+
+
+def local_clustering(graph: CSRGraph, batch_rows: int = 2048) -> np.ndarray:
+    """LCC per vertex (0.0 for vertices with fewer than 2 neighbors)."""
+    n = graph.n_vertices
+    und = _undirected_pattern(graph)
+    deg = np.asarray(und.sum(axis=1)).ravel()
+
+    # Directed arc count inside each neighborhood: for vertex v this is
+    # sum over ordered neighbor pairs (x, y) with an arc x->y, i.e.
+    # (A_und @ A_dir) restricted to the undirected pattern, summed by row
+    # ... where A_dir is the original directed adjacency (deduped).
+    src = graph.source_ids()
+    dst = graph.col_idx
+    keep = src != dst
+    a_dir = sp.csr_matrix(
+        (np.ones(keep.sum(), dtype=np.int64),
+         (src[keep], dst[keep])), shape=(n, n))
+    a_dir.sum_duplicates()
+    a_dir.data[:] = 1
+
+    tri = np.zeros(n, dtype=np.float64)
+    for lo in range(0, n, batch_rows):
+        hi = min(lo + batch_rows, n)
+        block = und[lo:hi] @ a_dir          # wedges from rows lo:hi
+        block = block.multiply(und[lo:hi])  # close them on the pattern
+        tri[lo:hi] = np.asarray(block.sum(axis=1)).ravel()
+
+    denom = deg * (deg - 1)
+    out = np.zeros(n, dtype=np.float64)
+    mask = denom > 0
+    out[mask] = tri[mask] / denom[mask]
+    return out
+
+
+def lcc_wedge_count(graph: CSRGraph) -> float:
+    """Total wedge work, ``sum_v d(v) * (d(v) - 1)`` -- the quantity the
+    systems' cost models charge for LCC."""
+    und = _undirected_pattern(graph)
+    deg = np.asarray(und.sum(axis=1)).ravel().astype(np.float64)
+    return float((deg * (deg - 1)).sum())

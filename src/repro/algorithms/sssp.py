@@ -1,0 +1,43 @@
+"""Reference single-source shortest paths (Dijkstra via scipy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+
+from repro.errors import ValidationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["sssp_dijkstra"]
+
+
+def sssp_dijkstra(graph: CSRGraph, root: int) -> np.ndarray:
+    """Exact shortest-path distances from ``root``.
+
+    Unreachable vertices get ``+inf``.  The graph must carry
+    non-negative weights (the Graph500 SSSP convention; all datasets the
+    harness produces satisfy it).
+    """
+    if graph.weights is None:
+        raise ValidationError("SSSP requires a weighted graph")
+    if graph.n_edges and graph.weights.min() < 0:
+        raise ValidationError("Dijkstra requires non-negative weights")
+    # scipy sums duplicate entries when canonicalizing; parallel edges must
+    # instead keep their *minimum* weight, so dedupe explicitly first.
+    import scipy.sparse as sp
+
+    n = graph.n_vertices
+    src = graph.source_ids()
+    dst = graph.col_idx
+    w = graph.weights
+    if graph.n_edges:
+        key = src * np.int64(n) + dst
+        order = np.lexsort((w, key))
+        key_sorted = key[order]
+        first = np.ones(key_sorted.size, dtype=bool)
+        first[1:] = key_sorted[1:] != key_sorted[:-1]
+        sel = order[first]
+        src, dst, w = src[sel], dst[sel], w[sel]
+    mat = sp.csr_matrix((w, (src, dst)), shape=(n, n))
+    dist = csgraph.dijkstra(mat, directed=True, indices=root)
+    return np.asarray(dist, dtype=np.float64)

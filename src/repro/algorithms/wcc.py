@@ -1,0 +1,40 @@
+"""Reference weakly connected components (scipy union-find)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["weakly_connected_components", "canonical_component_labels"]
+
+
+def weakly_connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component label per vertex, canonicalized (see below)."""
+    n = graph.n_vertices
+    src = graph.source_ids()
+    mat = sp.csr_matrix(
+        (np.ones(graph.n_edges, dtype=np.int8), (src, graph.col_idx)),
+        shape=(n, n))
+    _, labels = csgraph.connected_components(
+        mat, directed=True, connection="weak")
+    return canonical_component_labels(labels)
+
+
+def canonical_component_labels(labels: np.ndarray) -> np.ndarray:
+    """Relabel components by their minimum member vertex id.
+
+    Systems produce arbitrary component ids; the Graphalytics convention
+    (label = smallest vertex id in the component) makes outputs directly
+    comparable, so both the reference and every system normalize to it.
+    """
+    labels = np.asarray(labels)
+    n = labels.size
+    if n == 0:
+        return labels.astype(np.int64)
+    mins = np.full(int(labels.max()) + 1, np.iinfo(np.int64).max,
+                   dtype=np.int64)
+    np.minimum.at(mins, labels, np.arange(n, dtype=np.int64))
+    return mins[labels]

@@ -1,0 +1,308 @@
+"""Command-line interface: the paper's five shell commands.
+
+"Our framework breaks the process of characterizing performance into
+five principal phases ... each of which requires no more than a single
+shell command" (Sec. III)::
+
+    epg setup      --output out/
+    epg homogenize --output out/ --dataset kronecker --scale 14
+    epg run        --output out/
+    epg parse      --output out/
+    epg analyze    --output out/ --figure fig2
+
+plus ``epg all`` chaining everything and ``epg graphalytics`` for the
+comparator tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.systems.registry import ALL_SYSTEM_NAMES, available_systems
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="epg",
+        description="easy-parallel-graph-*: compare parallel graph "
+                    "processing systems")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="log pipeline progress to stderr")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--output", type=Path, required=True,
+                        help="experiment output directory")
+        sp.add_argument("--dataset", default="kronecker",
+                        choices=("kronecker", "cit-patents", "dota-league",
+                                 "snap-file"))
+        sp.add_argument("--snap-path", type=Path, default=None)
+        sp.add_argument("--scale", type=int, default=14,
+                        help="Kronecker scale (2^scale vertices)")
+        sp.add_argument("--systems", nargs="+", default=None,
+                        choices=ALL_SYSTEM_NAMES)
+        sp.add_argument("--algorithms", nargs="+",
+                        default=["bfs", "sssp", "pagerank"])
+        sp.add_argument("--roots", type=int, default=32)
+        sp.add_argument("--trials", type=int, default=1)
+        sp.add_argument("--threads", type=int, nargs="+", default=[32])
+        sp.add_argument("--seed", type=int, default=20170402)
+
+    for name, help_ in (
+            ("setup", "phase 1: verify systems, persist config"),
+            ("homogenize", "phase 2: generate per-system input files"),
+            ("run", "phase 3: execute all experiment cells"),
+            ("parse", "phase 4: parse native logs into results.csv"),
+            ("analyze", "phase 5: print statistics / figure series"),
+            ("all", "run all five phases")):
+        sp = sub.add_parser(name, help=help_)
+        common(sp)
+        if name in ("analyze", "all"):
+            sp.add_argument("--figure", choices=_FIGURES, default=None,
+                            help="print one figure's data series")
+
+    sp = sub.add_parser("graphalytics",
+                        help="run the simulated Graphalytics comparator")
+    common(sp)
+
+    sp = sub.add_parser(
+        "compare",
+        help="statistical pairwise comparison from results.csv")
+    sp.add_argument("--output", type=Path, required=True)
+    sp.add_argument("--algorithm", default="bfs")
+    sp.add_argument("--pair", nargs=2, metavar=("A", "B"),
+                    required=True, choices=ALL_SYSTEM_NAMES)
+
+    sp = sub.add_parser(
+        "feasibility",
+        help="predict whether experiments will finish (Sec. V)")
+    sp.add_argument("--scale", type=int, required=True,
+                    help="Kronecker scale of the intended workload")
+    sp.add_argument("--threads", type=int, default=32)
+    sp.add_argument("--time-limit", type=float, default=None,
+                    help="per-kernel wall-clock budget in seconds")
+    sp.add_argument("--systems", nargs="+", default=None,
+                    choices=ALL_SYSTEM_NAMES)
+
+    sp = sub.add_parser("viz", help="render SVG figures from results.csv")
+    sp.add_argument("--output", type=Path, required=True,
+                    help="experiment output directory (with results.csv)")
+    sp.add_argument("--figures-dir", type=Path, default=None,
+                    help="where to write SVGs (default <output>/figures)")
+
+    sp = sub.add_parser(
+        "reproduce",
+        help="regenerate the paper's full evaluation into one report")
+    sp.add_argument("--output", type=Path, required=True)
+    sp.add_argument("--scale", type=int, default=12)
+    sp.add_argument("--roots", type=int, default=8)
+    sp.add_argument("--seed", type=int, default=20170402)
+    sp.add_argument("--no-svg", action="store_true")
+
+    sp = sub.add_parser(
+        "verify", help="check an experiment dir against provenance.json")
+    sp.add_argument("--output", type=Path, required=True)
+
+    sp = sub.add_parser(
+        "traces", help="render captured power traces (CSV) to SVG")
+    sp.add_argument("--output", type=Path, required=True,
+                    help="experiment directory with traces/ inside")
+
+    sub.add_parser("systems", help="list installed systems")
+    sub.add_parser("datasets", help="list the dataset catalog")
+    return p
+
+
+def _config_from_args(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        output_dir=args.output,
+        dataset=args.dataset,
+        snap_path=args.snap_path,
+        scale=args.scale,
+        systems=tuple(args.systems) if args.systems else ALL_SYSTEM_NAMES,
+        algorithms=tuple(args.algorithms),
+        n_roots=args.roots,
+        n_trials=args.trials,
+        thread_counts=tuple(args.threads),
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if getattr(args, "verbose", False):
+        from repro.logging_util import enable_console_logging
+
+        enable_console_logging()
+
+    if args.command == "systems":
+        for s in available_systems():
+            print(s)
+        return 0
+
+    if args.command == "datasets":
+        from repro.datasets.catalog import catalog
+
+        for entry in catalog():
+            size = ("(synthetic family)" if entry.full_vertices is None
+                    else f"full size {entry.full_vertices:,} vertices / "
+                         f"{entry.full_edges:,} edges")
+            flags = (("directed" if entry.directed else "undirected")
+                     + ", "
+                     + ("weighted" if entry.weighted else "unweighted"))
+            print(f"{entry.name:<14}{entry.kind:<20}{flags:<24}{size}")
+            print(f"{'':14}{entry.description}")
+        return 0
+
+    if args.command == "reproduce":
+        from repro.core.suite import run_paper_suite
+
+        report = run_paper_suite(args.output, scale=args.scale,
+                                 n_roots=args.roots, seed=args.seed,
+                                 render_svg=not args.no_svg)
+        print(f"wrote {report}")
+        return 0
+
+    if args.command == "compare":
+        from repro.core.stats import compare_systems
+
+        records = Experiment.load_csv(args.output / "results.csv")
+        a, b = args.pair
+        verdict = compare_systems(records, a, b, args.algorithm)
+        print(verdict.summary())
+        print(f"  {a}: median {verdict.median_a:.4g}s, 95% CI "
+              f"[{verdict.ci_a[0]:.4g}, {verdict.ci_a[1]:.4g}]")
+        print(f"  {b}: median {verdict.median_b:.4g}s, 95% CI "
+              f"[{verdict.ci_b[0]:.4g}, {verdict.ci_b[1]:.4g}]")
+        return 0
+
+    if args.command == "feasibility":
+        from repro.core.feasibility import WorkloadSize, check_feasibility
+        from repro.systems import calibration
+
+        size = WorkloadSize.kronecker(args.scale)
+        print(f"workload: kron-scale{args.scale} "
+              f"({size.n_vertices:,} vertices, {size.n_arcs:,} arcs)")
+        systems = args.systems or list(ALL_SYSTEM_NAMES)
+        header = (f"{'system':<12}{'algorithm':<11}{'est time':>12}"
+                  f"{'est memory':>13}  verdict")
+        print(header)
+        print("-" * len(header))
+        for system in systems:
+            for algorithm in sorted(calibration._ANCHORS.get(system, {})):
+                v = check_feasibility(
+                    system, algorithm, size, n_threads=args.threads,
+                    time_limit_s=args.time_limit)
+                verdict = ("OK" if v.feasible
+                           else f"NO ({v.limiting_factor})")
+                print(f"{system:<12}{algorithm:<11}"
+                      f"{v.est_runtime_s:>11.3g}s"
+                      f"{v.est_memory_bytes / 1e9:>11.2f}GB  {verdict}")
+        return 0
+
+    if args.command == "verify":
+        from repro.core.provenance import verify
+
+        ok, problems = verify(args.output)
+        if ok:
+            print(f"{args.output}: provenance verified")
+            return 0
+        for problem in problems:
+            print(f"{args.output}: {problem}")
+        return 1
+
+    if args.command == "traces":
+        import numpy as np
+
+        from repro.power.wattprof import PowerTrace
+
+        tdir = args.output / "traces"
+        csvs = sorted(tdir.glob("*.csv")) if tdir.is_dir() else []
+        if not csvs:
+            print(f"no traces under {tdir} (run with "
+                  "capture_power_traces=True)")
+            return 1
+        for csv in csvs:
+            body = np.loadtxt(csv, delimiter=",", skiprows=1, ndmin=2)
+            ts = body[:, 0]
+            hz = (1.0 / float(np.median(np.diff(ts)))
+                  if ts.size > 1 else 1000.0)
+            trace = PowerTrace(timestamps_s=ts, pkg_watts=body[:, 1],
+                               dram_watts=body[:, 2], sample_hz=hz)
+            svg = csv.with_suffix(".svg")
+            trace.to_svg(svg, title=csv.stem)
+            print(svg)
+        return 0
+
+    if args.command == "viz":
+        from repro.core.analysis import Analysis
+        from repro.viz import render_all_figures
+
+        records = Experiment.load_csv(args.output / "results.csv")
+        figures_dir = args.figures_dir or (args.output / "figures")
+        rendered = render_all_figures(Analysis(records), figures_dir)
+        for fig, paths in sorted(rendered.items()):
+            for p in paths:
+                print(p)
+        return 0
+
+    if args.command == "graphalytics":
+        from repro.graphalytics import GraphalyticsHarness, render_table
+
+        config = _config_from_args(args)
+        exp = Experiment(config)
+        exp.setup()
+        dataset = exp.homogenize()
+        harness = GraphalyticsHarness(machine=config.machine)
+        results = harness.run_matrix(dataset)
+        print(render_table(results))
+        return 0
+
+    config = _config_from_args(args)
+    exp = Experiment(config)
+
+    if args.command == "setup":
+        systems = exp.setup()
+        print(f"installed systems: {', '.join(systems)}")
+    elif args.command == "homogenize":
+        exp.setup()
+        ds = exp.homogenize()
+        print(f"homogenized {ds.name}: n={ds.n_vertices} m={ds.n_edges} "
+              f"-> {ds.directory}")
+    elif args.command == "run":
+        exp.setup()
+        exp.homogenize()
+        paths = exp.run()
+        print(f"wrote {len(paths)} log files under "
+              f"{config.output_dir / 'logs'}")
+    elif args.command == "parse":
+        csv = exp.parse()
+        print(f"wrote {csv}")
+    elif args.command in ("analyze", "all"):
+        if args.command == "all":
+            analysis = exp.run_all()
+        else:
+            analysis = exp.analyze()
+        from repro.core.report import figure_series, format_box_table
+
+        if args.figure:
+            print(figure_series(analysis, args.figure))
+        else:
+            print(format_box_table(
+                "Kernel time by (system, algorithm)",
+                {f"{k[0]}/{k[1]}": v
+                 for k, v in analysis.box("time").items()}))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

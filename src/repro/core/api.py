@@ -1,0 +1,42 @@
+"""One-call convenience API.
+
+``run_comparison`` is the 30-second quickstart: configure, run all five
+phases, and get back the :class:`~repro.core.analysis.Analysis` plus the
+experiment handle for deeper digging.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+__all__ = ["run_comparison"]
+
+
+def run_comparison(output_dir: str | Path, dataset: str = "kronecker",
+                   scale: int = 12,
+                   systems: tuple[str, ...] | None = None,
+                   algorithms: tuple[str, ...] = ("bfs", "sssp",
+                                                  "pagerank"),
+                   thread_counts: tuple[int, ...] = (32,),
+                   n_roots: int = 32, n_trials: int = 1,
+                   seed: int = 20170402, **kwargs):
+    """Run a full EPG* comparison and return ``(experiment, analysis)``.
+
+    Example
+    -------
+    >>> exp, analysis = run_comparison("out", scale=10, n_roots=4)
+    >>> stats = analysis.box("time")
+    """
+    from repro.systems.registry import ALL_SYSTEM_NAMES
+
+    config = ExperimentConfig(
+        output_dir=Path(output_dir), dataset=dataset, scale=scale,
+        systems=tuple(systems) if systems else ALL_SYSTEM_NAMES,
+        algorithms=tuple(algorithms), thread_counts=tuple(thread_counts),
+        n_roots=n_roots, n_trials=n_trials, seed=seed, **kwargs)
+    experiment = Experiment(config)
+    analysis = experiment.run_all()
+    return experiment, analysis

@@ -1,0 +1,161 @@
+"""The five-phase EPG* pipeline (paper Fig 1).
+
+Each phase "requires no more than a single shell command"; here each is
+one method, and :meth:`Experiment.run_all` chains them:
+
+1. :meth:`setup`      -- register/verify systems, persist the config
+2. :meth:`homogenize` -- generate/convert the dataset for every system
+3. :meth:`run`        -- execute algorithm x system x root x threads
+4. :meth:`parse`      -- native logs -> one CSV
+5. :meth:`analyze`    -- CSV -> statistics, tables, figure series
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import ExperimentConfig
+from repro.core.logs import parse_all_logs
+from repro.core.records import Record
+from repro.core.runner import Runner
+from repro.datasets.homogenize import HomogenizedDataset, homogenize
+from repro.datasets.kronecker import KroneckerSpec, generate_kronecker
+from repro.datasets.realworld import (
+    CIT_PATENTS_DEFAULT_FACTOR,
+    DOTA_LEAGUE_DEFAULT_FACTOR,
+    cit_patents,
+    dota_league,
+)
+from repro.datasets.snap import read_snap
+from repro.errors import ConfigError
+from repro.graph.edgelist import EdgeList
+from repro.logging_util import get_logger, phase_timer
+from repro.systems.registry import available_systems
+
+__all__ = ["Experiment"]
+
+
+class Experiment:
+    """Stateful driver for one configured study."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.dataset: HomogenizedDataset | None = None
+        self.records: list[Record] | None = None
+        self._log = get_logger("repro.pipeline")
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def setup(self) -> list[str]:
+        """Verify requested systems exist; persist the configuration."""
+        avail = available_systems()
+        missing = [s for s in self.config.systems if s not in avail]
+        if missing:
+            raise ConfigError(f"systems not installed: {missing}")
+        out = self.config.output_dir
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "config.json").write_text(
+            json.dumps(self.config.to_dict(), indent=2), encoding="utf-8")
+        return list(self.config.systems)
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+    def _generate_edges(self) -> EdgeList:
+        cfg = self.config
+        if cfg.dataset == "kronecker":
+            return generate_kronecker(KroneckerSpec(
+                scale=cfg.scale, seed=cfg.seed, weighted=True))
+        if cfg.dataset == "cit-patents":
+            return cit_patents(cfg.realworld_factor
+                               or CIT_PATENTS_DEFAULT_FACTOR,
+                               seed=cfg.seed)
+        if cfg.dataset == "dota-league":
+            return dota_league(cfg.realworld_factor
+                               or DOTA_LEAGUE_DEFAULT_FACTOR,
+                               seed=cfg.seed)
+        return read_snap(cfg.snap_path)
+
+    def homogenize(self) -> HomogenizedDataset:
+        """Phase 2: write every per-system input file + roots."""
+        with phase_timer("homogenize", self._log):
+            edges = self._generate_edges()
+            self._log.info("dataset %s: %d vertices, %d edges",
+                           edges.name, edges.n_vertices, edges.n_edges)
+            self.dataset = homogenize(
+                edges, self.config.output_dir / "datasets",
+                n_roots=self.config.n_roots, seed=self.config.seed)
+        return self.dataset
+
+    # ------------------------------------------------------------------
+    # Phase 3
+    # ------------------------------------------------------------------
+    def run(self) -> list[Path]:
+        """Phase 3: execute every requested cell; return log paths."""
+        if self.dataset is None:
+            self.homogenize()
+        runner = Runner(self.config, self.dataset)
+        paths: list[Path] = []
+        with phase_timer("run", self._log):
+            for n_threads in self.config.thread_counts:
+                for system in self.config.systems:
+                    for algorithm in self.config.algorithms:
+                        p = runner.run_system_algorithm(
+                            system, algorithm, n_threads)
+                        if p is None:
+                            self._log.debug(
+                                "skipped %s/%s (t=%d): not supported",
+                                system, algorithm, n_threads)
+                        else:
+                            self._log.info("ran %s/%s (t=%d) -> %s",
+                                           system, algorithm,
+                                           n_threads, p.name)
+                            paths.append(p)
+        return paths
+
+    # ------------------------------------------------------------------
+    # Phase 4
+    # ------------------------------------------------------------------
+    def parse(self) -> Path:
+        """Phase 4: logs -> results.csv."""
+        records = parse_all_logs(self.config.output_dir / "logs")
+        self.records = records
+        csv_path = self.config.output_dir / "results.csv"
+        with csv_path.open("w", encoding="utf-8") as fh:
+            fh.write(Record.csv_header() + "\n")
+            for r in records:
+                fh.write(r.to_csv_row() + "\n")
+        return csv_path
+
+    @staticmethod
+    def load_csv(path: str | Path) -> list[Record]:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        if not lines or lines[0] != Record.csv_header():
+            raise ConfigError(f"{path}: not an EPG results CSV")
+        return [Record.from_csv_row(row) for row in lines[1:] if row]
+
+    # ------------------------------------------------------------------
+    # Phase 5
+    # ------------------------------------------------------------------
+    def analyze(self):
+        """Phase 5: statistics over the parsed records."""
+        from repro.core.analysis import Analysis
+
+        if self.records is None:
+            csv = self.config.output_dir / "results.csv"
+            if csv.exists():
+                self.records = self.load_csv(csv)
+            else:
+                raise ConfigError("run parse() before analyze()")
+        return Analysis(self.records, machine=self.config.machine)
+
+    # ------------------------------------------------------------------
+    def run_all(self):
+        """All five phases, start to finish."""
+        self.setup()
+        self.homogenize()
+        self.run()
+        self.parse()
+        return self.analyze()

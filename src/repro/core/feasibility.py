@@ -1,0 +1,170 @@
+"""Feasibility prediction: will this experiment finish?
+
+Paper Sec. V: "Graphalytics encountered circumstances with the more
+computationally expensive algorithms fail, so determining whether an
+algorithm will finish given a particular machine, input size, runtime
+limit, and resources is an important unanswered question we plan to
+pursue further."  This module pursues it: given a workload size, a
+system, an algorithm, and a machine, it projects the runtime through
+the calibrated cost model and the memory footprint through per-system
+structure formulas, and returns a verdict against the machine's RAM
+and a wall-clock budget.
+
+The Graphalytics harness consumes these verdicts to reproduce its
+documented failure behaviour on expensive cells (LCC on dense graphs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.spec import MachineSpec, haswell_server
+from repro.machine.threads import ThreadModel, WorkProfile
+from repro.systems import calibration
+
+__all__ = ["WorkloadSize", "FeasibilityVerdict", "estimate_memory_bytes",
+           "estimate_runtime_s", "check_feasibility"]
+
+
+@dataclass(frozen=True)
+class WorkloadSize:
+    """Abstract size of a graph workload.
+
+    ``wedges`` (sum of d*(d-1)) drives LCC/TC cost; when unknown it is
+    estimated from a scale-free degree model matching the Kronecker
+    generator's skew: ``wedges ~= avg_deg * m * skew`` with skew ~= 10.
+    """
+
+    n_vertices: int
+    n_arcs: int
+    wedges: float | None = None
+    weighted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_vertices < 1 or self.n_arcs < 0:
+            raise ConfigError("workload size must be positive")
+
+    @property
+    def avg_degree(self) -> float:
+        return self.n_arcs / self.n_vertices
+
+    def wedge_estimate(self) -> float:
+        if self.wedges is not None:
+            return self.wedges
+        return 10.0 * self.avg_degree * self.n_arcs
+
+    @staticmethod
+    def kronecker(scale: int) -> "WorkloadSize":
+        n = 1 << scale
+        arcs = 2 * 16 * n
+        # Scale the calibrated scale-22 wedge estimate by arcs^~1.16
+        # (heavy-tail growth measured across scales).
+        wedges = calibration.SCALE22_WEDGES * (
+            arcs / calibration.SCALE22_ARCS) ** 1.16
+        return WorkloadSize(n_vertices=n, n_arcs=arcs, wedges=wedges)
+
+
+#: Bytes per arc / per vertex of each system's in-memory structures
+#: (weighted build: indices + weights + auxiliary arrays).
+_MEMORY_MODEL: dict[str, tuple[float, float]] = {
+    # (bytes_per_arc, bytes_per_vertex)
+    "gap": (2 * 16.0, 32.0),          # out + in CSR with weights
+    "graph500": (8.0, 26.0),          # single unweighted CSR + bitmaps
+    "graphbig": (24.0, 96.0),         # CSR + property records
+    "graphmat": (2 * 20.0, 48.0),     # DCSR A^T + symmetric pattern
+    "powergraph": (2 * 24.0, 80.0),   # partitioned CSRs + mirror tables
+}
+
+
+def estimate_memory_bytes(system: str, size: WorkloadSize) -> float:
+    """Peak structure footprint of ``system`` holding ``size``."""
+    try:
+        per_arc, per_vertex = _MEMORY_MODEL[system]
+    except KeyError:
+        raise ConfigError(f"no memory model for {system!r}") from None
+    return per_arc * size.n_arcs + per_vertex * size.n_vertices
+
+
+def _units_for(system: str, algorithm: str, size: WorkloadSize,
+               sweeps: float) -> float:
+    anchor = calibration._ANCHORS[system][algorithm]
+    if algorithm in ("lcc", "tc"):
+        # Wedge-driven kernels: anchor units scale with the wedge count
+        # (the tc anchor's half-wedge convention cancels in the ratio).
+        return anchor.units * (size.wedge_estimate()
+                               / calibration.SCALE22_WEDGES)
+    per_arc = anchor.units / calibration.SCALE22_ARCS
+    return per_arc * size.n_arcs * sweeps
+
+
+#: Representative sweep counts for per-sweep-anchored kernels.
+_SWEEPS: dict[str, float] = {
+    "pagerank": 100.0, "wcc": 8.0, "cdlp": 10.0,
+    "bfs": 1.0, "sssp": 1.0, "bc": 1.0, "tc": 1.0, "lcc": 1.0,
+}
+
+
+def estimate_runtime_s(system: str, algorithm: str, size: WorkloadSize,
+                       n_threads: int = 32,
+                       machine: MachineSpec | None = None,
+                       sweeps: float | None = None) -> float:
+    """Projected kernel runtime through the calibrated model."""
+    machine = machine or haswell_server()
+    if algorithm not in calibration._ANCHORS.get(system, {}):
+        raise ConfigError(
+            f"{system} has no {algorithm} implementation to project")
+    sweeps = sweeps if sweeps is not None else _SWEEPS[algorithm]
+    units = _units_for(system, algorithm, size, sweeps)
+    anchor = calibration._ANCHORS[system][algorithm]
+    rounds = max(int(math.ceil(sweeps)), 1)
+    profile = WorkProfile()
+    for _ in range(rounds):
+        profile.add_round(units=units / rounds, skew=anchor.skew)
+    costs = calibration.cost_params(system, algorithm, machine)
+    return ThreadModel(machine).simulate(profile, costs,
+                                         n_threads).time_s
+
+
+@dataclass(frozen=True)
+class FeasibilityVerdict:
+    """Answer to "will it finish?"."""
+
+    system: str
+    algorithm: str
+    est_runtime_s: float
+    est_memory_bytes: float
+    fits_memory: bool
+    within_time_limit: bool
+    time_limit_s: float | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits_memory and self.within_time_limit
+
+    @property
+    def limiting_factor(self) -> str | None:
+        if not self.fits_memory:
+            return "memory"
+        if not self.within_time_limit:
+            return "time"
+        return None
+
+
+def check_feasibility(system: str, algorithm: str, size: WorkloadSize,
+                      n_threads: int = 32,
+                      machine: MachineSpec | None = None,
+                      time_limit_s: float | None = None
+                      ) -> FeasibilityVerdict:
+    """Project runtime and memory; compare against the machine/budget."""
+    machine = machine or haswell_server()
+    runtime = estimate_runtime_s(system, algorithm, size, n_threads,
+                                 machine)
+    memory = estimate_memory_bytes(system, size)
+    fits = memory <= machine.ram_gb * 1e9 * 0.9  # leave OS headroom
+    in_time = time_limit_s is None or runtime <= time_limit_s
+    return FeasibilityVerdict(
+        system=system, algorithm=algorithm, est_runtime_s=runtime,
+        est_memory_bytes=memory, fits_memory=fits,
+        within_time_limit=in_time, time_limit_s=time_limit_s)

@@ -1,0 +1,311 @@
+"""Native-format log emission and parsing.
+
+EPG* collects execution time "by parsing log files" (Sec. III): each
+system prints its own idiosyncratic lines, and the harness's AWK/Bash
+parsers turn them into CSV.  This module is both halves in one place so
+writer and parser can never drift apart:
+
+* :func:`open_log` / :class:`LogWriter` -- emit each system's native
+  lines (formats documented per method, modeled on the real packages;
+  the GraphMat block reproduces the Table I excerpt verbatim);
+* :func:`parse_log` -- regex the lines back into
+  :class:`~repro.core.records.Record` rows.
+
+Every log starts with one harness-written header line (the shell
+wrapper's ``echo``), carrying the run coordinates that the native lines
+do not repeat.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.records import Record
+from repro.errors import LogParseError
+
+__all__ = ["LogWriter", "parse_log", "parse_all_logs"]
+
+_HEADER_RE = re.compile(
+    r"^# epg system=(\S+) dataset=(\S+) threads=(\d+) algorithm=(\S+)\s*$")
+_POWER_RE = re.compile(
+    r"^(PACKAGE|DRAM)_ENERGY:PACKAGE0 (\d+) nJ ([0-9.eE+-]+) s"
+    r"(?: root=(-?\d+) trial=(\d+))?\s*$")
+
+_FLOAT = r"([0-9.eE+-]+)"
+
+
+class LogWriter:
+    """Accumulates one run's native log and writes it to disk."""
+
+    def __init__(self, system: str, dataset: str, threads: int,
+                 algorithm: str):
+        self.system = system
+        self.dataset = dataset
+        self.threads = threads
+        self.algorithm = algorithm
+        self.lines: list[str] = [
+            f"# epg system={system} dataset={dataset} threads={threads} "
+            f"algorithm={algorithm}"
+        ]
+
+    # ------------------------------------------------------------------
+    # Native emitters, one per system.
+    # ------------------------------------------------------------------
+    def gap_load(self, read_s: float, build_s: float) -> None:
+        self.lines.append(f"Read Time:           {read_s:.5f}")
+        self.lines.append(f"Build Time:          {build_s:.5f}")
+
+    def gap_trial(self, root: int, trial: int, time_s: float,
+                  iterations: int | None = None) -> None:
+        self.lines.append(
+            f"Root: {root} Trial: {trial} Trial Time:      {time_s:.6e}")
+        if iterations is not None:
+            self.lines.append(f"PageRank iterations: {iterations}")
+
+    def graph500_header(self, scale: int, edgefactor: int,
+                        nbfs: int) -> None:
+        self.lines.append(f"SCALE: {scale}")
+        self.lines.append(f"edgefactor: {edgefactor}")
+        self.lines.append(f"NBFS: {nbfs}")
+
+    def graph500_construction(self, seconds: float) -> None:
+        self.lines.append(f"construction_time: {seconds:.6e}")
+
+    def graph500_bfs(self, index: int, root: int, time_s: float) -> None:
+        self.lines.append(f"bfs {index:3d} root {root} time: {time_s:.6e}")
+
+    def graph500_summary(self, min_s: float, mean_s: float, max_s: float,
+                         teps: float) -> None:
+        self.lines.append(f"min_time: {min_s:.6e}")
+        self.lines.append(f"mean_time: {mean_s:.6e}")
+        self.lines.append(f"max_time: {max_s:.6e}")
+        self.lines.append(f"harmonic_mean_TEPS: {teps:.6e}")
+
+    def graphbig_load(self, load_s: float) -> None:
+        self.lines.append("==GraphBIG==")
+        self.lines.append(f"== load time: {load_s:.5f} sec")
+
+    def graphbig_run(self, root: int, trial: int, time_s: float,
+                     iterations: int | None = None) -> None:
+        self.lines.append(f"== root: {root} trial: {trial}")
+        self.lines.append(f"== time: {time_s:.6e} sec")
+        if iterations is not None:
+            self.lines.append(f"== iterations: {iterations}")
+
+    def graphmat_block(self, root: int, trial: int, read_s: float,
+                       load_s: float, init_s: float, degree_s: float,
+                       algo_label: str, algo_s: float, print_s: float,
+                       deinit_s: float,
+                       iterations: int | None = None) -> None:
+        """The exact phase block of the Table I excerpt."""
+        self.lines.append(f"root: {root} trial: {trial}")
+        self.lines.append(
+            f"Finished file read of {self.dataset}. time: {read_s:.6g}")
+        self.lines.append(f"load graph: {load_s:.6g} sec")
+        self.lines.append(f"initialize engine: {init_s:.6g} sec")
+        self.lines.append(
+            f"run algorithm 1 (count degree): {degree_s:.6g} sec")
+        self.lines.append(
+            f"run algorithm 2 ({algo_label}): {algo_s:.6g} sec")
+        if iterations is not None:
+            self.lines.append(f"completed {iterations} iterations")
+        self.lines.append(f"print output: {print_s:.6g} sec")
+        self.lines.append(f"deinitialize engine: {deinit_s:.6g} sec")
+
+    def powergraph_load(self, load_s: float) -> None:
+        self.lines.append(
+            f"INFO:  Loading graph. Finished in {load_s:.5f} seconds")
+
+    def powergraph_run(self, root: int, trial: int, time_s: float,
+                       iterations: int | None = None) -> None:
+        self.lines.append(f"INFO:  root: {root} trial: {trial}")
+        self.lines.append(
+            f"INFO:  Finished Running engine in {time_s:.6e} seconds.")
+        if iterations is not None:
+            self.lines.append(f"INFO:  engine iterations: {iterations}")
+
+    # ------------------------------------------------------------------
+    def power_lines(self, pkg_j: float, dram_j: float, duration_s: float,
+                    root: int = -1, trial: int = 0) -> None:
+        """The paper's power_rapl_print output, tagged by the wrapper."""
+        tag = f" root={root} trial={trial}"
+        self.lines.append(
+            f"PACKAGE_ENERGY:PACKAGE0 {int(pkg_j * 1e9)} nJ "
+            f"{duration_s:.6f} s{tag}")
+        self.lines.append(
+            f"DRAM_ENERGY:PACKAGE0 {int(dram_j * 1e9)} nJ "
+            f"{duration_s:.6f} s{tag}")
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(self.lines) + "\n", encoding="utf-8")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def _ctx_records(ctx: dict, metric: str, value: float, root: int = -1,
+                 trial: int = 0) -> Record:
+    return Record(system=ctx["system"], algorithm=ctx["algorithm"],
+                  dataset=ctx["dataset"], threads=ctx["threads"],
+                  metric=metric, value=value, root=root, trial=trial)
+
+
+_GAP_READ = re.compile(rf"^Read Time:\s+{_FLOAT}$")
+_GAP_BUILD = re.compile(rf"^Build Time:\s+{_FLOAT}$")
+_GAP_TRIAL = re.compile(
+    rf"^Root: (-?\d+) Trial: (\d+) Trial Time:\s+{_FLOAT}$")
+_GAP_ITER = re.compile(r"^PageRank iterations: (\d+)$")
+_G500_CONS = re.compile(rf"^construction_time: {_FLOAT}$")
+_G500_BFS = re.compile(rf"^bfs\s+(\d+) root (-?\d+) time: {_FLOAT}$")
+_G500_TEPS = re.compile(rf"^harmonic_mean_TEPS: {_FLOAT}$")
+_GBIG_LOAD = re.compile(rf"^== load time: {_FLOAT} sec$")
+_GBIG_ROOT = re.compile(r"^== root: (-?\d+) trial: (\d+)$")
+_GBIG_TIME = re.compile(rf"^== time: {_FLOAT} sec$")
+_GBIG_ITER = re.compile(r"^== iterations: (\d+)$")
+_GMAT_ROOT = re.compile(r"^root: (-?\d+) trial: (\d+)$")
+_GMAT_READ = re.compile(rf"^Finished file read of \S+ time: {_FLOAT}$")
+_GMAT_LOAD = re.compile(rf"^load graph: {_FLOAT} sec$")
+_GMAT_ALGO = re.compile(rf"^run algorithm 2 \([^)]*\): {_FLOAT} sec$")
+_GMAT_ITER = re.compile(r"^completed (\d+) iterations$")
+_PG_LOAD = re.compile(
+    rf"^INFO:  Loading graph\. Finished in {_FLOAT} seconds$")
+_PG_ROOT = re.compile(r"^INFO:  root: (-?\d+) trial: (\d+)$")
+_PG_TIME = re.compile(
+    rf"^INFO:  Finished Running engine in {_FLOAT} seconds\.$")
+_PG_ITER = re.compile(r"^INFO:  engine iterations: (\d+)$")
+
+
+def parse_log(path: str | Path) -> list[Record]:
+    """Parse one native log file into records."""
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise LogParseError(f"{path}: empty log")
+    m = _HEADER_RE.match(lines[0])
+    if not m:
+        raise LogParseError(f"{path}: missing epg header line")
+    ctx = {"system": m.group(1), "dataset": m.group(2),
+           "threads": int(m.group(3)), "algorithm": m.group(4)}
+    system = ctx["system"]
+    records: list[Record] = []
+    cur_root = -1
+    cur_trial = 0
+
+    for line in lines[1:]:
+        pw = _POWER_RE.match(line)
+        if pw:
+            kind, nj, dur = pw.group(1), int(pw.group(2)), float(pw.group(3))
+            r = int(pw.group(4)) if pw.group(4) is not None else cur_root
+            t = int(pw.group(5)) if pw.group(5) is not None else cur_trial
+            joules = nj * 1e-9
+            metric_j = "pkg_joules" if kind == "PACKAGE" else "dram_joules"
+            metric_w = "pkg_watts" if kind == "PACKAGE" else "dram_watts"
+            records.append(_ctx_records(ctx, metric_j, joules, r, t))
+            if dur > 0:
+                records.append(_ctx_records(ctx, metric_w, joules / dur,
+                                            r, t))
+            continue
+
+        if system == "gap":
+            if (m := _GAP_READ.match(line)):
+                records.append(_ctx_records(ctx, "read", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _GAP_BUILD.match(line)):
+                records.append(_ctx_records(ctx, "build", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _GAP_TRIAL.match(line)):
+                cur_root, cur_trial = int(m.group(1)), int(m.group(2))
+                records.append(_ctx_records(ctx, "time", float(m.group(3)),
+                                            cur_root, cur_trial))
+            elif (m := _GAP_ITER.match(line)):
+                records.append(_ctx_records(ctx, "iterations",
+                                            float(m.group(1)),
+                                            cur_root, cur_trial))
+        elif system == "graph500":
+            if (m := _G500_CONS.match(line)):
+                records.append(_ctx_records(ctx, "build", float(m.group(1))))
+            elif (m := _G500_BFS.match(line)):
+                cur_trial = int(m.group(1))
+                cur_root = int(m.group(2))
+                records.append(_ctx_records(ctx, "time", float(m.group(3)),
+                                            cur_root, cur_trial))
+            elif (m := _G500_TEPS.match(line)):
+                records.append(_ctx_records(ctx, "teps",
+                                            float(m.group(1))))
+        elif system == "graphbig":
+            if (m := _GBIG_LOAD.match(line)):
+                records.append(_ctx_records(ctx, "load", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _GBIG_ROOT.match(line)):
+                cur_root, cur_trial = int(m.group(1)), int(m.group(2))
+            elif (m := _GBIG_TIME.match(line)):
+                records.append(_ctx_records(ctx, "time", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _GBIG_ITER.match(line)):
+                records.append(_ctx_records(ctx, "iterations",
+                                            float(m.group(1)),
+                                            cur_root, cur_trial))
+        elif system == "graphmat":
+            if (m := _GMAT_ROOT.match(line)):
+                cur_root, cur_trial = int(m.group(1)), int(m.group(2))
+            elif (m := _GMAT_READ.match(line)):
+                records.append(_ctx_records(ctx, "read", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _GMAT_LOAD.match(line)):
+                # GraphMat's "load graph" includes the file read; EPG*
+                # records construction as the difference (Sec. II).
+                records.append(_ctx_records(ctx, "load", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _GMAT_ALGO.match(line)):
+                records.append(_ctx_records(ctx, "time", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _GMAT_ITER.match(line)):
+                records.append(_ctx_records(ctx, "iterations",
+                                            float(m.group(1)),
+                                            cur_root, cur_trial))
+        elif system == "powergraph":
+            if (m := _PG_LOAD.match(line)):
+                records.append(_ctx_records(ctx, "load", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _PG_ROOT.match(line)):
+                cur_root, cur_trial = int(m.group(1)), int(m.group(2))
+            elif (m := _PG_TIME.match(line)):
+                records.append(_ctx_records(ctx, "time", float(m.group(1)),
+                                            cur_root, cur_trial))
+            elif (m := _PG_ITER.match(line)):
+                records.append(_ctx_records(ctx, "iterations",
+                                            float(m.group(1)),
+                                            cur_root, cur_trial))
+        else:
+            raise LogParseError(f"{path}: unknown system {system!r}")
+
+    # Derive GraphMat construction = load - read, per root.
+    if system == "graphmat":
+        reads = {(r.root, r.trial): r.value for r in records
+                 if r.metric == "read"}
+        builds = [
+            Record(system=r.system, algorithm=r.algorithm,
+                   dataset=r.dataset, threads=r.threads, metric="build",
+                   value=max(r.value - reads.get((r.root, r.trial), 0.0),
+                             0.0),
+                   root=r.root, trial=r.trial)
+            for r in records if r.metric == "load"
+        ]
+        records.extend(builds)
+    return records
+
+
+def parse_all_logs(log_dir: str | Path) -> list[Record]:
+    """Parse every ``*.log`` under ``log_dir`` (phase 4)."""
+    log_dir = Path(log_dir)
+    records: list[Record] = []
+    paths = sorted(log_dir.rglob("*.log"))
+    if not paths:
+        raise LogParseError(f"{log_dir}: no log files found")
+    for p in paths:
+        records.extend(parse_log(p))
+    return records

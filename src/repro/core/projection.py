@@ -1,0 +1,77 @@
+"""Full-scale projections through the calibrated cost model.
+
+Real kernels run at laptop scales; the paper's scalability study
+(Figs 5-6) ran BFS on a scale-23 Kronecker graph, where per-invocation
+fixed costs are negligible next to kernel work.  At small scales those
+fixed costs -- genuinely -- dominate and flatten every speedup curve, so
+reproducing the *shape* of Figs 5-6 requires pricing the paper's own
+workload.  This module does exactly that: it builds the analytic
+:class:`~repro.machine.threads.WorkProfile` each system would report at
+a given scale (unit counts scaled from the calibration anchors, which
+are themselves cross-checked against measured kernel counts) and prices
+it across thread counts.
+
+Used by ``benchmarks/bench_fig5.py`` / ``bench_fig6.py`` and the paper-
+claims test suite; the same benchmarks also print the real-kernel curves
+at bench scale for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import EfficiencyTable
+from repro.errors import ConfigError
+from repro.machine.spec import MachineSpec, haswell_server
+from repro.machine.threads import ThreadModel, WorkProfile
+from repro.systems import calibration
+
+__all__ = ["projected_profile", "projected_time", "projected_scalability",
+           "PAPER_SCALING_SCALE"]
+
+#: Figs 5-6 ran "a Kronecker graph of scale 23" (Sec. IV-B).
+PAPER_SCALING_SCALE = 23
+
+
+def projected_profile(system: str, algorithm: str, scale: int
+                      ) -> WorkProfile:
+    """Analytic work profile for one kernel run at ``scale``.
+
+    Unit counts scale linearly with the arc count relative to the
+    scale-22 anchors (per-arc work fractions are scale-stable for
+    Kronecker graphs at fixed edge factor; verified against measured
+    kernels in the test suite).  Rounds mirror the typical BFS depth.
+    """
+    try:
+        anchor = calibration._ANCHORS[system][algorithm]
+    except KeyError:
+        raise ConfigError(
+            f"no anchor for {system}/{algorithm}") from None
+    arcs = 2.0 * 16.0 * (1 << scale)
+    units = anchor.units * (arcs / calibration.SCALE22_ARCS)
+    rounds = calibration.SCALE22_BFS_LEVELS
+    profile = WorkProfile()
+    for _ in range(rounds):
+        profile.add_round(units=units / rounds, skew=anchor.skew)
+    return profile
+
+
+def projected_time(system: str, algorithm: str, scale: int,
+                   n_threads: int,
+                   machine: MachineSpec | None = None) -> float:
+    """Simulated seconds for one kernel run at full scale."""
+    machine = machine or haswell_server()
+    profile = projected_profile(system, algorithm, scale)
+    costs = calibration.cost_params(system, algorithm, machine)
+    return ThreadModel(machine).simulate(profile, costs, n_threads).time_s
+
+
+def projected_scalability(system: str, algorithm: str = "bfs",
+                          scale: int = PAPER_SCALING_SCALE,
+                          thread_counts=(1, 2, 4, 8, 16, 32, 64, 72),
+                          machine: MachineSpec | None = None
+                          ) -> EfficiencyTable:
+    """The Figs 5-6 curve for one system at the paper's scale."""
+    times = [projected_time(system, algorithm, scale, n, machine)
+             for n in thread_counts]
+    return EfficiencyTable(system=system, algorithm=algorithm,
+                           threads=list(thread_counts),
+                           mean_times=times)

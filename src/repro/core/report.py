@@ -1,0 +1,168 @@
+"""Rendering: ASCII tables and figure series.
+
+The paper's phase 5 feeds R scripts that draw the plots; this module
+produces the same content as text -- paper-shaped tables (Tables I-III)
+and per-figure data series (CSV-ish blocks ready for any plotting tool),
+plus quick ASCII box summaries so a terminal user can eyeball the
+distributions.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import Analysis, BoxStats
+
+__all__ = ["format_table", "format_box_table", "format_series",
+           "ascii_box", "figure_series"]
+
+
+def format_table(title: str, columns: list[str],
+                 rows: dict[str, list[str]]) -> str:
+    """Render a paper-style table: row label + column values."""
+    label_w = max([len(r) for r in rows] + [8]) + 2
+    col_ws = [max(len(c), *(len(rows[r][i]) for r in rows)) + 2
+              for i, c in enumerate(columns)]
+    out = [title]
+    header = " " * label_w + "".join(c.rjust(w) for c, w in
+                                     zip(columns, col_ws))
+    out.append(header)
+    out.append("-" * len(header))
+    for label, vals in rows.items():
+        out.append(label.ljust(label_w)
+                   + "".join(v.rjust(w) for v, w in zip(vals, col_ws)))
+    return "\n".join(out)
+
+
+def ascii_box(stats: BoxStats, width: int = 40, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-line ASCII box plot: ``|---[==|==]---|`` on a linear scale."""
+    lo = stats.minimum if lo is None else lo
+    hi = stats.maximum if hi is None else hi
+    span = max(hi - lo, 1e-300)
+
+    def pos(x: float) -> int:
+        return int(round((x - lo) / span * (width - 1)))
+
+    cells = [" "] * width
+    for a, b, ch in ((stats.minimum, stats.q1, "-"),
+                     (stats.q3, stats.maximum, "-")):
+        for i in range(pos(a), pos(b) + 1):
+            cells[i] = ch
+    for i in range(pos(stats.q1), pos(stats.q3) + 1):
+        cells[i] = "="
+    cells[pos(stats.median)] = "|"
+    return "".join(cells)
+
+
+def format_box_table(title: str, boxes: dict[str, BoxStats],
+                     unit: str = "s") -> str:
+    """Per-group five-number table with an inline ASCII box."""
+    if not boxes:
+        return f"{title}\n(no data)"
+    lo = min(b.minimum for b in boxes.values())
+    hi = max(b.maximum for b in boxes.values())
+    out = [title,
+           f"{'group':<22}{'min':>10}{'median':>10}{'max':>10}"
+           f"{'mean':>10}{'rsd':>7}  distribution ({unit})"]
+    for name in sorted(boxes):
+        b = boxes[name]
+        out.append(
+            f"{name:<22}{b.minimum:>10.4g}{b.median:>10.4g}"
+            f"{b.maximum:>10.4g}{b.mean:>10.4g}{b.rsd:>7.2f}  "
+            f"[{ascii_box(b, lo=lo, hi=hi)}]")
+    return "\n".join(out)
+
+
+def format_series(title: str, x_label: str, xs: list,
+                  series: dict[str, list[float]]) -> str:
+    """A figure as a CSV block: one x column + one column per series."""
+    out = [f"# {title}", ",".join([x_label] + list(series))]
+    for i, x in enumerate(xs):
+        row = [str(x)] + [f"{series[s][i]:.6g}" for s in series]
+        out.append(",".join(row))
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Figure-specific assemblies
+# ----------------------------------------------------------------------
+def figure_series(analysis: Analysis, figure: str) -> str:
+    """Render one paper figure's data from an analysis.
+
+    ``figure`` is one of ``fig2``..``fig6``, ``fig8``, ``fig9`` (see
+    DESIGN.md's per-experiment index).
+    """
+    if figure == "fig2":
+        return "\n\n".join([
+            format_box_table(
+                "Fig 2 (left): BFS time (s)",
+                {k[0]: v for k, v in analysis.box("time").items()
+                 if k[1] == "bfs"}),
+            format_box_table(
+                "Fig 2 (right): BFS data structure construction (s)",
+                {k[0]: v for k, v in
+                 analysis.construction_box("bfs").items()}),
+        ])
+    if figure == "fig3":
+        return "\n\n".join([
+            format_box_table(
+                "Fig 3 (left): SSSP time (s)",
+                {k[0]: v for k, v in analysis.box("time").items()
+                 if k[1] == "sssp"}),
+            format_box_table(
+                "Fig 3 (right): SSSP data structure construction (s)",
+                {k[0]: v for k, v in
+                 analysis.construction_box("sssp").items()}),
+        ])
+    if figure == "fig4":
+        iters = analysis.iterations("pagerank")
+        return "\n\n".join([
+            format_box_table(
+                "Fig 4 (left): PageRank time (s)",
+                {k[0]: v for k, v in analysis.box("time").items()
+                 if k[1] == "pagerank"}),
+            format_table(
+                "Fig 4 (right): PageRank iterations",
+                ["iterations"],
+                {s: [f"{v:.0f}"] for s, v in sorted(iters.items())}),
+        ])
+    if figure in ("fig5", "fig6"):
+        threads = analysis.thread_counts()
+        series: dict[str, list[float]] = {}
+        for system in analysis.systems():
+            try:
+                tab = analysis.scalability(system, "bfs")
+            except Exception:
+                continue
+            series[system] = (tab.speedup() if figure == "fig5"
+                              else tab.efficiency())
+        name = ("Fig 5: BFS speedup T1/Tn" if figure == "fig5"
+                else "Fig 6: BFS parallel efficiency T1/(n*Tn)")
+        return format_series(name, "threads", threads, series)
+    if figure == "fig8":
+        datasets = analysis.datasets()
+        algos = [a for a in ("bfs", "pagerank", "sssp")
+                 if a in analysis.algorithms()]
+        blocks = []
+        for algo in algos:
+            rows = {}
+            for system in analysis.systems():
+                vals = []
+                for ds in datasets:
+                    try:
+                        vals.append(f"{analysis.mean_time(system, algo, ds):.4g}")
+                    except Exception:
+                        vals.append("N/A")
+                rows[system] = vals
+            blocks.append(format_table(
+                f"Fig 8: mean {algo} time (s)", datasets, rows))
+        return "\n\n".join(blocks)
+    if figure == "fig9":
+        return "\n\n".join([
+            format_box_table(
+                "Fig 9 (left): RAM power during BFS (W)",
+                analysis.power_box("dram_watts", "bfs"), unit="W"),
+            format_box_table(
+                "Fig 9 (right): CPU power during BFS (W)",
+                analysis.power_box("pkg_watts", "bfs"), unit="W"),
+        ])
+    raise ValueError(f"unknown figure {figure!r}")

@@ -1,0 +1,320 @@
+"""Phase 3: run each algorithm on each system (with power capture).
+
+Execution protocol, mirroring the paper:
+
+* BFS/SSSP: one fresh execution per root (32 executions; each pays its
+  own file read + construction, giving Fig 2/3's construction box
+  plots) -- except the Graph500, which constructs once and searches all
+  roots back-to-back in a single execution (its spec'd Benchmark 1
+  protocol; also why Fig 9 has a single Graph500 power point).
+* PageRank: "we simply run the algorithm 32 times" (Sec. III-B).
+* Power: every kernel region is wrapped in the Fig 10
+  ``power_rapl_start/end`` calls on the simulated RAPL counters.
+* Run-to-run spread comes from the seeded
+  :class:`~repro.machine.variance.VarianceModel`; the underlying kernel
+  executes once per root (results are deterministic) and its priced
+  time is re-jittered per trial -- behaviourally identical to rerunning
+  the binary, minus the Python-side redundancy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig
+from repro.core.logs import LogWriter
+from repro.datasets.homogenize import HomogenizedDataset
+from repro.errors import SystemCapabilityError
+from repro.machine.clock import SimulatedClock
+from repro.machine.variance import VarianceModel
+from repro.power.energy import instantaneous_power
+from repro.power.papi import (
+    power_rapl_end,
+    power_rapl_init,
+    power_rapl_print,
+    power_rapl_start,
+)
+from repro.systems import create_system
+from repro.systems.base import GraphSystem, KernelResult
+
+__all__ = ["Runner"]
+
+#: Simulated idle gap between consecutive executions (scripts sleep a
+#: beat between runs so RAPL windows never overlap).
+_IDLE_GAP_S = 0.05
+
+
+class Runner:
+    """Executes one experiment's run phase and writes native logs."""
+
+    def __init__(self, config: ExperimentConfig,
+                 dataset: HomogenizedDataset):
+        self.config = config
+        self.dataset = dataset
+        self.variance = VarianceModel(config.seed)
+        self._reference_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Graph500-style output validation (config.validate_outputs)
+    # ------------------------------------------------------------------
+    def _reference_csr(self):
+        if "csr" not in self._reference_cache:
+            from repro.graph.csr import CSRGraph
+
+            edges = self.dataset.load_edges()
+            self._reference_cache["csr"] = CSRGraph.from_edge_list(
+                edges, symmetrize=not self.dataset.directed)
+        return self._reference_cache["csr"]
+
+    def _validate(self, result: KernelResult, algorithm: str,
+                  root: int) -> None:
+        """Check a kernel result against the reference oracles; raises
+        :class:`repro.errors.ValidationError` on disagreement."""
+        from repro.algorithms import pagerank, sssp_dijkstra
+        from repro.graph.validation import (
+            validate_bfs_parents,
+            validate_pagerank,
+            validate_sssp_distances,
+        )
+
+        csr = self._reference_csr()
+        cache = self._reference_cache
+        if algorithm == "bfs" and "parent" in result.output:
+            validate_bfs_parents(csr, root, result.output["parent"],
+                                 directed=self.dataset.directed)
+        elif algorithm == "sssp":
+            key = ("sssp", root)
+            if key not in cache:
+                cache[key] = sssp_dijkstra(csr, root)
+            validate_sssp_distances(result.output["dist"], cache[key],
+                                    rtol=1e-4, atol=1e-5)
+        elif algorithm == "pagerank":
+            if "pr" not in cache:
+                cache["pr"] = pagerank(csr)[0]
+            validate_pagerank(result.output["rank"], cache["pr"],
+                              tol=5e-3)
+
+    # ------------------------------------------------------------------
+    def log_path(self, system: str, algorithm: str, n_threads: int) -> Path:
+        return (self.config.output_dir / "logs" / system /
+                f"{algorithm}-t{n_threads}.log")
+
+    def run_system_algorithm(self, system_name: str, algorithm: str,
+                             n_threads: int) -> Path | None:
+        """Run one (system, algorithm, threads) cell; return the log path
+        or ``None`` when the system cannot run this cell."""
+        system = create_system(system_name, machine=self.config.machine,
+                               n_threads=n_threads)
+        if not system.supports(algorithm):
+            return None
+        try:
+            loaded = system.load(self.dataset)
+        except SystemCapabilityError:
+            # e.g. the Graph500 refusing a non-Kronecker dataset.
+            return None
+
+        writer = LogWriter(system_name, self.dataset.name, n_threads,
+                           algorithm)
+        clock = SimulatedClock(
+            idle_pkg_watts=self.config.machine.idle_pkg_watts,
+            idle_dram_watts=self.config.machine.idle_dram_watts)
+
+        if system_name == "graph500":
+            self._run_graph500(system, loaded, writer, clock)
+        else:
+            self._run_per_root(system, loaded, writer, clock, algorithm)
+
+        path = self.log_path(system_name, algorithm, n_threads)
+        writer.write(path)
+        return path
+
+    # ------------------------------------------------------------------
+    def _roots_and_trials(self, algorithm: str) -> list[tuple[int, int]]:
+        """(root, trial) pairs for one cell."""
+        pairs: list[tuple[int, int]] = []
+        if algorithm in ("bfs", "sssp"):
+            for trial in range(self.config.n_trials):
+                for root in self.dataset.roots[:self.config.n_roots]:
+                    pairs.append((int(root), trial))
+        else:
+            for trial in range(self.config.n_roots * self.config.n_trials):
+                pairs.append((-1, trial))
+        return pairs
+
+    def _jitter(self, seconds: float, system: GraphSystem, algorithm: str,
+                metric: str, root: int, trial: int) -> float:
+        key = (system.name, algorithm, self.dataset.name,
+               system.n_threads, root, trial, metric)
+        return self.variance.jitter(seconds, key,
+                                    sensitivity=system.noise_sensitivity)
+
+    def _power_draw(self, system: GraphSystem, algorithm: str, root: int,
+                    trial: int) -> tuple[float, float]:
+        pkg, dram = instantaneous_power(self.config.machine, system.power,
+                                        system.n_threads)
+        key = (system.name, algorithm, self.dataset.name,
+               system.n_threads, root, trial)
+        machine = self.config.machine
+        # Sampling jitter never escapes the physical package envelope.
+        return (min(self.variance.power_jitter(pkg, key),
+                    machine.max_pkg_watts),
+                min(self.variance.power_jitter(dram, ("dram",) + key),
+                    machine.max_dram_watts))
+
+    def _measured_advance(self, clock: SimulatedClock, seconds: float,
+                          pkg_w: float, dram_w: float,
+                          trace_name: str | None = None):
+        """Advance the clock under a RAPL measurement window, optionally
+        also sampling a WattProf-style trace."""
+        wp = None
+        if self.config.capture_power_traces and trace_name:
+            from repro.power.wattprof import WattProfBackend
+
+            wp = WattProfBackend(clock,
+                                 sample_hz=self.config.trace_sample_hz)
+            wp.start()
+        ps = power_rapl_init(clock)
+        power_rapl_start(ps)
+        clock.advance(seconds, pkg_w, dram_w)
+        power_rapl_end(ps)
+        power_rapl_print(ps)
+        if wp is not None:
+            trace = wp.stop()
+            trace.to_csv(self.config.output_dir / "traces"
+                         / f"{trace_name}.csv")
+        return ps
+
+    # ------------------------------------------------------------------
+    def _run_graph500(self, system: GraphSystem, loaded, writer: LogWriter,
+                      clock: SimulatedClock) -> None:
+        """One execution, all roots, one construction, one power window."""
+        cfg = self.config
+        scale = int(np.ceil(np.log2(max(loaded.n_vertices, 2))))
+        roots = self.dataset.roots[:cfg.n_roots]
+        writer.graph500_header(scale=scale, edgefactor=16,
+                               nbfs=len(roots) * cfg.n_trials)
+        build = self._jitter(loaded.build_s or 0.0, system, "bfs",
+                             "build", -1, 0)
+        clock.advance(loaded.read_s)      # untimed generator/read phase
+        clock.advance(build)              # kernel 1 (timed)
+        writer.graph500_construction(build)
+
+        pkg_w, dram_w = self._power_draw(system, "bfs", -1, 0)
+        ps = power_rapl_init(clock)
+        power_rapl_start(ps)
+        times = []
+        index = 0
+        kernel_cache: dict[int, KernelResult] = {}
+        for trial in range(cfg.n_trials):
+            for root in roots:
+                root = int(root)
+                if root not in kernel_cache:
+                    res = system.run(loaded, "bfs", root=root)
+                    if self.config.validate_outputs:
+                        self._validate(res, "bfs", root)
+                    kernel_cache[root] = res
+                t = self._jitter(kernel_cache[root].time_s, system, "bfs",
+                                 "time", root, trial)
+                clock.advance(t, pkg_w, dram_w)
+                writer.graph500_bfs(index, root, t)
+                times.append((t, kernel_cache[root]))
+                index += 1
+        power_rapl_end(ps)
+        ts = [t for t, _ in times]
+        edges = [r.counters.get("edges_examined", loaded.n_arcs)
+                 for _, r in times]
+        inv = [t / max(e, 1) for t, e in zip(ts, edges)]
+        writer.graph500_summary(min(ts), float(np.mean(ts)), max(ts),
+                                1.0 / float(np.mean(inv)))
+        if self.config.measure_power:
+            writer.power_lines(ps.package_joules, ps.dram_joules,
+                               ps.duration_s, root=-1, trial=0)
+
+    # ------------------------------------------------------------------
+    def _run_per_root(self, system: GraphSystem, loaded, writer: LogWriter,
+                      clock: SimulatedClock, algorithm: str) -> None:
+        """Fresh execution per root/trial for the other four systems."""
+        kernel_cache: dict[int, KernelResult] = {}
+        for root, trial in self._roots_and_trials(algorithm):
+            cache_key = root if algorithm in ("bfs", "sssp") else -1
+            if cache_key not in kernel_cache:
+                kwargs = {}
+                if algorithm in ("bfs", "sssp"):
+                    kwargs["root"] = root
+                if algorithm == "pagerank" and system.name != "graphmat":
+                    kwargs["epsilon"] = self.config.epsilon
+                result = system.run(loaded, algorithm, **kwargs)
+                if self.config.validate_outputs:
+                    self._validate(result, algorithm, root)
+                kernel_cache[cache_key] = result
+            result = kernel_cache[cache_key]
+
+            read = self._jitter(loaded.read_s, system, algorithm, "read",
+                                root, trial)
+            build = (self._jitter(loaded.build_s, system, algorithm,
+                                  "build", root, trial)
+                     if loaded.build_s is not None else None)
+            t = self._jitter(result.time_s, system, algorithm, "time",
+                             root, trial)
+
+            clock.advance(_IDLE_GAP_S)
+            # Load phases draw moderate power (streaming, not compute
+            # bound): halfway between idle and the kernel draw.
+            pkg_w, dram_w = self._power_draw(system, algorithm, root, trial)
+            load_pkg = (self.config.machine.idle_pkg_watts + pkg_w) / 2
+            load_dram = (self.config.machine.idle_dram_watts + dram_w) / 2
+            clock.advance(read + (build or 0.0), load_pkg, load_dram)
+
+            trace_name = (f"{system.name}-{algorithm}"
+                          f"-t{system.n_threads}-r{root}-{trial}")
+            ps = self._measured_advance(clock, t, pkg_w, dram_w,
+                                        trace_name=trace_name)
+
+            self._emit_native(writer, system, loaded, algorithm, root,
+                              trial, read, build, t, result)
+            if self.config.measure_power:
+                writer.power_lines(ps.package_joules, ps.dram_joules,
+                                   ps.duration_s, root=root, trial=trial)
+
+    def _emit_native(self, writer: LogWriter, system: GraphSystem, loaded,
+                     algorithm: str, root: int, trial: int, read: float,
+                     build: float | None, t: float,
+                     result: KernelResult) -> None:
+        name = system.name
+        iterations = result.iterations
+        if name == "gap":
+            writer.gap_load(read, build or 0.0)
+            writer.gap_trial(root, trial, t, iterations=iterations
+                             if algorithm == "pagerank" else None)
+        elif name == "graphbig":
+            writer.graphbig_load(read)   # fused: read_s already has build
+            writer.graphbig_run(root, trial, t, iterations=iterations)
+        elif name == "graphmat":
+            writer.graphmat_block(
+                root=root, trial=trial, read_s=read,
+                load_s=read + (build or 0.0),
+                init_s=8.32e-5,
+                degree_s=0.05 * (build or 0.02),
+                algo_label=self._graphmat_label(algorithm),
+                algo_s=t,
+                print_s=loaded.n_vertices * 1.5e-8,
+                deinit_s=2.2e-4,
+                iterations=iterations)
+        elif name == "powergraph":
+            writer.powergraph_load(read)
+            writer.powergraph_run(root, trial, t, iterations=iterations)
+        else:  # pragma: no cover - defensive
+            raise SystemCapabilityError(f"no native emitter for {name}")
+
+    @staticmethod
+    def _graphmat_label(algorithm: str) -> str:
+        return {
+            "bfs": "compute BFS",
+            "sssp": "compute SSSP",
+            "pagerank": "compute PageRank",
+            "wcc": "compute Connected Components",
+            "cdlp": "compute Label Propagation",
+            "lcc": "compute Triangle Counting",
+        }[algorithm]

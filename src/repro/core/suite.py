@@ -1,0 +1,161 @@
+"""The full-paper reproduction suite: every table and figure, one call.
+
+``run_paper_suite(out_dir)`` executes the complete evaluation of
+Sec. II + IV at a configurable reduced scale and writes one directory:
+
+.. code-block:: text
+
+    <out>/
+        REPORT.md            every table + figure series, with captions
+        figures/*.svg        rendered Figs 2-6, 8, 9
+        kron/  dota/  pat/   the underlying EPG* experiment dirs
+        scaling/             the Figs 5-6 thread sweep
+        graphalytics/        comparator HTML reports (Fig 7)
+        kron/provenance.json (and scaling/) digests for re-verification
+
+This is what ``epg reproduce`` runs, and what EXPERIMENTS.md's numbers
+come from (at the bench scale).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.analysis import Analysis
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.projection import PAPER_SCALING_SCALE, projected_scalability
+from repro.core.report import figure_series, format_series, format_table
+
+__all__ = ["run_paper_suite"]
+
+_SCALING_SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
+_THREADS = (1, 2, 4, 8, 16, 32, 64, 72)
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def run_paper_suite(out_dir: str | Path, scale: int = 12,
+                    n_roots: int = 8, seed: int = 20170402,
+                    render_svg: bool = True) -> Path:
+    """Run everything; return the REPORT.md path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    sections: list[str] = [
+        "# easy-parallel-graph-* full reproduction report",
+        f"\nKronecker scale {scale}, {n_roots} roots, seed {seed}; "
+        "see EXPERIMENTS.md for the paper-vs-measured ledger.\n",
+    ]
+
+    # --- main Kronecker experiment (Figs 2-4, 9; Table III) ----------
+    kron_cfg = ExperimentConfig(
+        output_dir=out_dir / "kron", dataset="kronecker", scale=scale,
+        n_roots=n_roots, seed=seed,
+        algorithms=("bfs", "sssp", "pagerank"))
+    kron = Experiment(kron_cfg).run_all()
+    for fig, caption in (("fig2", "Fig 2: BFS time and construction"),
+                         ("fig3", "Fig 3: SSSP time and construction"),
+                         ("fig4", "Fig 4: PageRank time / iterations"),
+                         ("fig9", "Fig 9: power during BFS")):
+        sections.append(_section(caption, figure_series(kron, fig)))
+
+    table3 = kron.energy_table("bfs", threads=32)
+    systems = sorted(table3)
+    rows = {
+        "Time (s)": [f"{table3[s].time_s:.5g}" for s in systems],
+        "Average Power per Root (W)": [
+            f"{table3[s].avg_pkg_watts:.2f}" for s in systems],
+        "Energy per Root (J)": [
+            f"{table3[s].pkg_energy_j:.4g}" for s in systems],
+        "Sleeping Energy (J)": [
+            f"{table3[s].sleep_energy_j:.4g}" for s in systems],
+        "Increase over Sleep": [
+            f"{table3[s].increase_over_sleep:.3f}" for s in systems],
+    }
+    sections.append(_section(
+        "Table III: BFS energy accounting",
+        format_table("", [s.upper() for s in systems], rows)))
+
+    # --- real-world experiments (Fig 8) -------------------------------
+    rw_records = []
+    for ds, sub in (("dota-league", "dota"), ("cit-patents", "pat")):
+        cfg = ExperimentConfig(
+            output_dir=out_dir / sub, dataset=ds, n_roots=n_roots,
+            seed=seed, algorithms=("bfs", "sssp", "pagerank"))
+        rw_records.extend(Experiment(cfg).run_all().records)
+    merged = Analysis(rw_records, machine=kron_cfg.machine)
+    sections.append(_section("Fig 8: real-world comparison",
+                             figure_series(merged, "fig8")))
+
+    # --- scalability (Figs 5-6): projection + bench-scale kernels ----
+    proj = {s: projected_scalability(s, thread_counts=_THREADS)
+            for s in _SCALING_SYSTEMS}
+    sections.append(_section(
+        f"Fig 5: BFS speedup (projected, scale {PAPER_SCALING_SCALE})",
+        format_series("", "threads", list(_THREADS),
+                      {s: t.speedup() for s, t in proj.items()})))
+    sections.append(_section(
+        "Fig 6: BFS parallel efficiency (projected)",
+        format_series("", "threads", list(_THREADS),
+                      {s: t.efficiency() for s, t in proj.items()})))
+
+    scaling_cfg = ExperimentConfig(
+        output_dir=out_dir / "scaling", dataset="kronecker",
+        scale=scale, n_roots=min(n_roots, 4), seed=seed,
+        algorithms=("bfs",), thread_counts=_THREADS)
+    scaling = Experiment(scaling_cfg).run_all()
+    sections.append(_section(
+        "Fig 5 (bench-scale real kernels)",
+        format_series("", "threads", list(_THREADS),
+                      {s: scaling.scalability(s, "bfs").speedup()
+                       for s in _SCALING_SYSTEMS})))
+
+    # --- Graphalytics comparator (Tables I-II, Fig 7) -----------------
+    from repro.datasets.homogenize import load_manifest
+    from repro.graphalytics import (
+        GraphalyticsHarness,
+        render_html_report,
+        render_table,
+    )
+
+    harness = GraphalyticsHarness(machine=kron_cfg.machine, seed=seed)
+    dota_ds = load_manifest(out_dir / "dota" / "datasets" / "dota-league")
+    pat_ds = load_manifest(out_dir / "pat" / "datasets" / "cit-Patents")
+    kron_ds = load_manifest(
+        out_dir / "kron" / "datasets" / f"kron-scale{scale}")
+    t1 = harness.run_matrix(dota_ds) + harness.run_matrix(pat_ds)
+    sections.append(_section(
+        "Table I: Graphalytics on the real-world datasets",
+        render_table(t1)))
+    t2 = harness.run_matrix(
+        kron_ds, algorithms=("cdlp", "pagerank", "lcc", "wcc", "bfs"))
+    sections.append(_section(
+        "Table II: Graphalytics on the Kronecker graph",
+        render_table(t2)))
+    render_html_report(t1 + t2, out_dir / "graphalytics")
+    sections.append("## Fig 7: Graphalytics HTML reports\n\nWritten "
+                    "under `graphalytics/` (one page per platform).\n")
+
+    # --- figures + provenance -----------------------------------------
+    if render_svg:
+        from repro.viz import render_all_figures
+
+        render_all_figures(kron, out_dir / "figures")
+        render_all_figures(merged, out_dir / "figures")
+        render_all_figures(scaling, out_dir / "figures")
+
+    from repro.core.html_report import render_epg_html
+    from repro.core.provenance import capture
+
+    render_epg_html(kron, out_dir / "report.html",
+                    title=f"EPG* report: kron-scale{scale}",
+                    embed_figures=render_svg)
+
+    for cfg in (kron_cfg, scaling_cfg):
+        capture(cfg)
+
+    report = out_dir / "REPORT.md"
+    report.write_text("\n".join(sections), encoding="utf-8")
+    return report

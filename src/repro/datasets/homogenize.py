@@ -1,0 +1,171 @@
+"""Pipeline phase 2: dataset homogenization.
+
+"Homogenizing the datasets creates copies of the graph files and
+auxiliary files in various formats.  This is both to ensure they are
+correctly formatted for each system and to speed up file I/O whenever
+possible by using the library designer's serialized data structure file
+formats." (paper Sec. III-B)
+
+Given one :class:`~repro.graph.edgelist.EdgeList` (synthetic or parsed
+from a SNAP file), :func:`homogenize` writes a dataset directory:
+
+.. code-block:: text
+
+    <out>/<name>/
+        manifest.json          dataset statistics + file inventory
+        <name>.el / .wel       plain edge list (weighted variant)
+        <name>.sg / .wsg       GAP serialized CSR
+        <name>.g500            Graph500 packed tuples
+        <name>.mtxbin          GraphMat binary matrix
+        <name>.tsv             PowerGraph edge TSV
+        graphbig/              GraphBIG vertex.csv + edge.csv
+        roots.txt              the 32 search roots (degree > 1)
+
+Auxiliary rules from the paper:
+
+* 32 roots per graph, each with degree greater than 1 (Graph500 rule);
+* SSSP on unweighted datasets uses generated uniform weights (the
+  Graph500 SSSP convention), so a ``.wel`` twin is always produced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import formats
+from repro.errors import DatasetError
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["HomogenizedDataset", "homogenize", "load_manifest",
+           "select_roots"]
+
+N_ROOTS_DEFAULT = 32
+
+
+def select_roots(edges: EdgeList, n_roots: int = N_ROOTS_DEFAULT,
+                 seed: int = 2):
+    """Sample search roots the way the Graph500 does.
+
+    "Each experiment uses 32 roots per graph.  As with the Graph500,
+    each root is selected to have a degree greater than 1."  Sampling is
+    uniform without replacement over eligible vertices; if fewer than
+    ``n_roots`` vertices qualify, sampling falls back to with-replacement
+    over whatever qualifies (tiny test graphs).
+    """
+    deg = edges.degrees()
+    eligible = np.flatnonzero(deg > 1)
+    if eligible.size == 0:
+        raise DatasetError("no vertex has degree > 1; cannot choose roots")
+    rng = np.random.default_rng(seed)
+    replace = eligible.size < n_roots
+    roots = rng.choice(eligible, size=n_roots, replace=replace)
+    return roots.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class HomogenizedDataset:
+    """Handle to a homogenized dataset directory."""
+
+    name: str
+    directory: Path
+    n_vertices: int
+    n_edges: int
+    directed: bool
+    weighted: bool
+    roots: np.ndarray
+    files: dict
+
+    def path(self, key: str) -> Path:
+        """Absolute path of one homogenized artifact (e.g. ``'sg'``)."""
+        try:
+            return self.directory / self.files[key]
+        except KeyError:
+            raise DatasetError(
+                f"{self.name}: no homogenized file {key!r}; "
+                f"have {sorted(self.files)}") from None
+
+    def load_edges(self) -> EdgeList:
+        """Reload the canonical (possibly weighted) edge list."""
+        key = "wel" if self.weighted else "el"
+        el = formats.read_el(self.path(key), n_vertices=self.n_vertices,
+                             directed=self.directed, name=self.name)
+        return el
+
+
+def homogenize(edges: EdgeList, out_dir: str | Path,
+               n_roots: int = N_ROOTS_DEFAULT,
+               seed: int = 2) -> HomogenizedDataset:
+    """Write every per-system input file for ``edges`` under ``out_dir``."""
+    out_dir = Path(out_dir)
+    name = edges.name
+    ddir = out_dir / name
+    ddir.mkdir(parents=True, exist_ok=True)
+
+    weighted_el = edges if edges.weighted else edges.with_random_weights(
+        seed=seed ^ 0x5355)
+
+    files: dict[str, str] = {}
+
+    def _rel(p: Path) -> str:
+        return str(p.relative_to(ddir))
+
+    unweighted_el = EdgeList(edges.src, edges.dst, edges.n_vertices,
+                             directed=edges.directed, name=name)
+    files["el"] = _rel(formats.write_el(unweighted_el, ddir / f"{name}.el"))
+    files["wel"] = _rel(formats.write_el(weighted_el, ddir / f"{name}.wel"))
+    files["sg"] = _rel(formats.write_sg(
+        edges, ddir / f"{name}.sg", symmetrize=not edges.directed))
+    files["wsg"] = _rel(formats.write_sg(
+        weighted_el, ddir / f"{name}.wsg", symmetrize=not edges.directed))
+    files["g500"] = _rel(formats.write_g500(weighted_el,
+                                            ddir / f"{name}.g500"))
+    files["mtxbin"] = _rel(formats.write_graphmat_bin(
+        weighted_el, ddir / f"{name}.mtxbin"))
+    files["tsv"] = _rel(formats.write_powergraph_tsv(
+        weighted_el, ddir / f"{name}.tsv"))
+    files["graphbig"] = _rel(formats.write_graphbig_csv(
+        weighted_el, ddir / "graphbig"))
+
+    roots = select_roots(edges, n_roots=n_roots, seed=seed)
+    roots_path = ddir / "roots.txt"
+    np.savetxt(roots_path, roots, fmt="%d")
+    files["roots"] = _rel(roots_path)
+
+    manifest = {
+        "name": name,
+        "n_vertices": edges.n_vertices,
+        "n_edges": edges.n_edges,
+        "directed": edges.directed,
+        "weighted": edges.weighted,
+        "n_roots": int(roots.size),
+        "files": files,
+    }
+    (ddir / "manifest.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8")
+
+    return HomogenizedDataset(
+        name=name, directory=ddir, n_vertices=edges.n_vertices,
+        n_edges=edges.n_edges, directed=edges.directed,
+        weighted=edges.weighted, roots=roots, files=files,
+    )
+
+
+def load_manifest(directory: str | Path) -> HomogenizedDataset:
+    """Reopen a previously homogenized dataset directory."""
+    directory = Path(directory)
+    mpath = directory / "manifest.json"
+    if not mpath.exists():
+        raise DatasetError(f"{directory}: no manifest.json (not homogenized?)")
+    manifest = json.loads(mpath.read_text(encoding="utf-8"))
+    roots = np.loadtxt(directory / manifest["files"]["roots"],
+                       dtype=np.int64, ndmin=1)
+    return HomogenizedDataset(
+        name=manifest["name"], directory=directory,
+        n_vertices=manifest["n_vertices"], n_edges=manifest["n_edges"],
+        directed=manifest["directed"], weighted=manifest["weighted"],
+        roots=roots, files=manifest["files"],
+    )

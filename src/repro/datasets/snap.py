@@ -1,0 +1,118 @@
+"""SNAP edge-list text format.
+
+Per the paper's footnote 4: *"A file in the SNAP format consists of one
+edge per line, with vertices separated by whitespace and lines which
+begin with # are comments."*  EPG* accepts any dataset in this format,
+so this module is the ingestion point for arbitrary user graphs.
+
+An optional third whitespace-separated column carries edge weights
+(the convention the Graphalytics property-graph exports use).
+
+Reading is vectorized through ``numpy`` string parsing rather than a
+Python loop over lines; on multi-million-edge files this is the
+difference between seconds and minutes.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["read_snap", "write_snap", "sniff_snap"]
+
+
+def sniff_snap(path: str | Path, max_lines: int = 50) -> dict:
+    """Peek at a SNAP file: comment header, weightedness, column count."""
+    path = Path(path)
+    comments: list[str] = []
+    n_cols = 0
+    with path.open("r", encoding="utf-8") as fh:
+        for _ in range(max_lines):
+            line = fh.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                comments.append(line[1:].strip())
+                continue
+            n_cols = len(line.split())
+            break
+    if n_cols not in (0, 2, 3):
+        raise GraphFormatError(
+            f"{path}: expected 2 or 3 columns, found {n_cols}")
+    return {"comments": comments, "n_cols": n_cols,
+            "weighted": n_cols == 3}
+
+
+def read_snap(path: str | Path, directed: bool = True,
+              name: str | None = None) -> EdgeList:
+    """Parse a SNAP-format file into an :class:`EdgeList`.
+
+    Vertex ids may be arbitrary non-negative integers; they are compacted
+    to ``[0, n)`` preserving numeric order (the same normalization the
+    paper's homogenization step applies so every system sees identical
+    ids).
+    """
+    path = Path(path)
+    sniff_snap(path)  # fail fast on a malformed header/column layout
+    text = path.read_text(encoding="utf-8")
+    # Strip comment lines, then bulk-parse.
+    data_lines = [ln for ln in text.splitlines()
+                  if ln.strip() and not ln.lstrip().startswith("#")]
+    if not data_lines:
+        return EdgeList(np.zeros(0, np.int64), np.zeros(0, np.int64), 0,
+                        directed=directed, name=name or path.stem)
+    buf = io.StringIO("\n".join(data_lines))
+    try:
+        arr = np.loadtxt(buf, dtype=np.float64, ndmin=2)
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: malformed edge line: {exc}") from exc
+    if arr.shape[1] not in (2, 3):
+        raise GraphFormatError(
+            f"{path}: expected 2 or 3 columns, found {arr.shape[1]}")
+    raw_src = arr[:, 0]
+    raw_dst = arr[:, 1]
+    if np.any(raw_src != np.floor(raw_src)) or np.any(raw_dst != np.floor(raw_dst)):
+        raise GraphFormatError(f"{path}: vertex ids must be integers")
+    raw_src = raw_src.astype(np.int64)
+    raw_dst = raw_dst.astype(np.int64)
+    if raw_src.size and min(raw_src.min(), raw_dst.min()) < 0:
+        raise GraphFormatError(f"{path}: negative vertex id")
+    weights = arr[:, 2].copy() if arr.shape[1] == 3 else None
+
+    ids = np.union1d(raw_src, raw_dst)
+    src = np.searchsorted(ids, raw_src)
+    dst = np.searchsorted(ids, raw_dst)
+    return EdgeList(src, dst, int(ids.size), weights=weights,
+                    directed=directed, name=name or path.stem)
+
+
+def write_snap(edges: EdgeList, path: str | Path,
+               comments: tuple[str, ...] = ()) -> Path:
+    """Write an :class:`EdgeList` as a SNAP-format text file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = [f"# {c}" for c in (
+        f"Nodes: {edges.n_vertices} Edges: {edges.n_edges}",
+        "Directed" if edges.directed else "Undirected",
+        *comments,
+    )]
+    if edges.weighted:
+        cols = np.column_stack(
+            [edges.src.astype(np.float64), edges.dst.astype(np.float64),
+             edges.weights])
+        fmt = "%d\t%d\t%.17g"
+    else:
+        cols = np.column_stack([edges.src, edges.dst])
+        fmt = "%d\t%d"
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write("\n".join(header) + "\n")
+        np.savetxt(fh, cols, fmt=fmt)
+    return path

@@ -1,0 +1,43 @@
+"""Exception hierarchy for easy-parallel-graph-*.
+
+Every error raised on purpose by this package derives from
+:class:`ReproError` so callers can catch framework failures without
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory edge list violates its format contract."""
+
+
+class DatasetError(ReproError):
+    """A dataset cannot be generated, located, or homogenized."""
+
+
+class SystemCapabilityError(ReproError):
+    """A graph system was asked for an algorithm it does not provide.
+
+    The paper depends on these holes being real: PowerGraph ships no BFS
+    reference implementation, the Graph500 ships *only* BFS, and
+    Graphalytics refuses to run SSSP on unweighted graphs.
+    """
+
+
+class ConfigError(ReproError):
+    """An experiment configuration is internally inconsistent."""
+
+
+class LogParseError(ReproError):
+    """A native-format log file could not be parsed back into records."""
+
+
+class ValidationError(ReproError):
+    """An algorithm result failed the Graph500-style output validation."""
+
+
+class PowerMeasurementError(ReproError):
+    """The simulated RAPL interface was used out of protocol order."""

@@ -1,0 +1,22 @@
+"""Graph data structures shared by all reimplemented systems.
+
+This package provides the storage substrate the paper's five systems are
+built on:
+
+* :class:`~repro.graph.edgelist.EdgeList` -- the unordered edge tuples
+  that the Graph500 specification calls the *edge list in RAM*; every
+  system's "data structure construction" phase starts from one of these.
+* :class:`~repro.graph.csr.CSRGraph` -- compressed sparse row adjacency,
+  the representation used (per the paper, Sec. III-C) by the Graph500,
+  GAP, and GraphBIG.
+* :class:`~repro.graph.dcsr.DCSRMatrix` -- doubly-compressed sparse row,
+  the representation GraphMat layers its SpMV kernels on.
+* :mod:`~repro.graph.validation` -- the Graph500 result-validation rules
+  (BFS tree checks) plus SSSP/PageRank verifiers used by the test suite.
+"""
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.csr import CSRGraph
+from repro.graph.dcsr import DCSRMatrix
+
+__all__ = ["EdgeList", "CSRGraph", "DCSRMatrix"]

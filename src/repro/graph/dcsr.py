@@ -1,0 +1,177 @@
+"""Doubly-compressed sparse row (DCSR), GraphMat's storage scheme.
+
+The paper (Sec. III-C) notes GraphMat "uses a doubly-compressed sparse
+row representation": on top of CSR's row compression, rows that are
+entirely empty are removed, leaving an index of non-empty row ids.  On
+hyper-sparse matrices (scale-free graphs have many zero-in-degree
+vertices) this saves memory and lets SpMV skip empty rows, at the cost
+of an extra indirection per row -- the structural source of GraphMat's
+overhead on small graphs that Sec. IV-A observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DCSRMatrix"]
+
+
+@dataclass(frozen=True)
+class DCSRMatrix:
+    """A sparse boolean/weighted matrix with compressed row index.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension (always square here: adjacency matrices).
+    row_ids:
+        ``int64[nzr]`` sorted ids of rows that contain at least one entry.
+    row_ptr:
+        ``int64[nzr + 1]`` offsets into ``col_idx`` for each *stored* row.
+    col_idx:
+        ``int64[nnz]`` column indices, sorted within each row.
+    values:
+        Optional ``float64[nnz]`` entries; ``None`` means pattern-only.
+    """
+
+    n: int
+    row_ids: np.ndarray
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    values: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "row_ids", np.ascontiguousarray(self.row_ids, np.int64))
+        object.__setattr__(
+            self, "row_ptr", np.ascontiguousarray(self.row_ptr, np.int64))
+        object.__setattr__(
+            self, "col_idx", np.ascontiguousarray(self.col_idx, np.int64))
+        if self.row_ids.size + 1 != self.row_ptr.size:
+            raise GraphFormatError("row_ptr must have len(row_ids) + 1 entries")
+        if self.row_ptr.size and (
+                self.row_ptr[0] != 0 or self.row_ptr[-1] != self.col_idx.size):
+            raise GraphFormatError("row_ptr bounds do not match nnz")
+        if np.any(np.diff(self.row_ptr) <= 0):
+            # Doubly-compressed: *every* stored row must be non-empty.
+            raise GraphFormatError("DCSR may not store empty rows")
+        if self.row_ids.size and (
+                np.any(np.diff(self.row_ids) <= 0)
+                or self.row_ids[0] < 0 or self.row_ids[-1] >= self.n):
+            raise GraphFormatError("row_ids must be sorted, unique, in range")
+        if self.values is not None:
+            v = np.ascontiguousarray(self.values, np.float64)
+            object.__setattr__(self, "values", v)
+            if v.shape != self.col_idx.shape:
+                raise GraphFormatError("values must align with col_idx")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_csr(csr: CSRGraph) -> "DCSRMatrix":
+        """Compress away the empty rows of a CSR adjacency."""
+        deg = csr.out_degrees()
+        row_ids = np.flatnonzero(deg > 0).astype(np.int64)
+        row_ptr = np.zeros(row_ids.size + 1, dtype=np.int64)
+        np.cumsum(deg[row_ids], out=row_ptr[1:])
+        return DCSRMatrix(
+            n=csr.n_vertices,
+            row_ids=row_ids,
+            row_ptr=row_ptr,
+            col_idx=csr.col_idx.copy(),
+            values=None if csr.weights is None else csr.weights.copy(),
+        )
+
+    def to_csr(self) -> CSRGraph:
+        """Expand back to plain CSR (inverse of :meth:`from_csr`)."""
+        deg = np.zeros(self.n, dtype=np.int64)
+        deg[self.row_ids] = np.diff(self.row_ptr)
+        row_ptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(deg, out=row_ptr[1:])
+        return CSRGraph(row_ptr=row_ptr, col_idx=self.col_idx.copy(),
+                        weights=None if self.values is None
+                        else self.values.copy())
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.col_idx.size)
+
+    @property
+    def n_nonempty_rows(self) -> int:
+        return int(self.row_ids.size)
+
+    def nbytes(self) -> int:
+        total = self.row_ids.nbytes + self.row_ptr.nbytes + self.col_idx.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        return total
+
+    def row_sources(self) -> np.ndarray:
+        """Per-entry row ids (expanded), used by the SpMV kernels."""
+        return np.repeat(self.row_ids, np.diff(self.row_ptr))
+
+    # ------------------------------------------------------------------
+    # Generalized SpMV over (multiply, add) semirings -- the GraphMat
+    # programming model reduces every algorithm to this primitive.
+    # ------------------------------------------------------------------
+    def spmv_or_and(self, x_mask: np.ndarray) -> np.ndarray:
+        """Boolean semiring SpMV: ``y[r] = OR_j (A[r, j] AND x[j])``.
+
+        Used by the GraphMat BFS: ``x_mask`` is the frontier on the
+        transposed adjacency, ``y`` the set of vertices with a frontier
+        in-neighbor.
+        """
+        hits = x_mask[self.col_idx]
+        seg = np.add.reduceat(hits, self.row_ptr[:-1]) if self.nnz else (
+            np.zeros(0, dtype=np.int64))
+        y = np.zeros(self.n, dtype=bool)
+        if self.nnz:
+            y[self.row_ids] = seg > 0
+        return y
+
+    def spmv_min_plus(self, x: np.ndarray) -> np.ndarray:
+        """Tropical semiring SpMV: ``y[r] = min_j (A[r, j] + x[j])``.
+
+        Used by GraphMat's Bellman-Ford SSSP on the transposed weighted
+        adjacency.  Pattern-only matrices behave as all-zero values
+        (pure min gather, what the CC vertex program needs).  Rows with
+        no entries yield ``+inf``.
+        """
+        y = np.full(self.n, np.inf)
+        if not self.nnz:
+            return y
+        terms = x[self.col_idx]
+        if self.values is not None:
+            terms = self.values + terms
+        mins = np.minimum.reduceat(terms, self.row_ptr[:-1])
+        y[self.row_ids] = mins
+        return y
+
+    def spmv_plus_times(self, x: np.ndarray,
+                        pattern_only: bool = False) -> np.ndarray:
+        """Arithmetic SpMV: ``y[r] = sum_j A[r, j] * x[j]``.
+
+        Used by GraphMat PageRank, which runs on the adjacency *pattern*
+        (``pattern_only=True`` treats every stored value as 1, as the
+        unweighted vertex program does even on a weighted matrix).
+        """
+        if not self.nnz:
+            return np.zeros(self.n, dtype=x.dtype)
+        terms = x[self.col_idx]
+        if self.values is not None and not pattern_only:
+            terms = terms * self.values.astype(x.dtype, copy=False)
+        sums = np.add.reduceat(terms, self.row_ptr[:-1])
+        y = np.zeros(self.n, dtype=x.dtype)
+        y[self.row_ids] = sums.astype(x.dtype, copy=False)
+        return y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DCSRMatrix(n={self.n}, nonempty_rows={self.n_nonempty_rows}, "
+            f"nnz={self.nnz})"
+        )

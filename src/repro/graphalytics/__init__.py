@@ -1,0 +1,42 @@
+"""A faithful simulation of Graphalytics v0.3 (the comparator).
+
+The paper (Sec. II) contrasts EPG* with LDBC Graphalytics, whose
+methodology it criticizes on specific, mechanical grounds that this
+package reproduces exactly:
+
+* **one run per experiment** -- "Just one run per experiment is
+  performed" (Table I caption), so no distributions, no outlier control;
+* **inconsistent timing hooks** -- each platform driver wraps a
+  different span of execution: the GraphMat driver's reported time
+  includes reading the input file from disk and building the matrix,
+  the GraphBIG driver's does not, and the PowerGraph driver includes
+  graph loading plus engine start ("To call this a fair comparison is
+  dubious at best", Sec. II);
+* **algorithm defaults, not homogenized** -- PageRank runs a fixed
+  iteration budget instead of the EPG* epsilon criterion (the source of
+  the Table II vs Fig 4 discrepancy the paper explains), and SSSP is
+  skipped (``N/A``) on unweighted datasets;
+* an **HTML report** of single-trial numbers (Fig 7).
+
+Platforms covered: GraphBIG, PowerGraph, GraphMat -- the three the
+paper's Tables I-II run (Graphalytics v0.3 had no GAP or Graph500
+drivers).  PowerGraph BFS goes through the driver-supplied
+hop-propagation GAS program since the toolkit has none.
+"""
+
+from repro.graphalytics.harness import (
+    GRAPHALYTICS_ALGORITHMS,
+    GRAPHALYTICS_PLATFORMS,
+    GraphalyticsHarness,
+    GraphalyticsResult,
+)
+from repro.graphalytics.report import render_html_report, render_table
+
+__all__ = [
+    "GraphalyticsHarness",
+    "GraphalyticsResult",
+    "GRAPHALYTICS_PLATFORMS",
+    "GRAPHALYTICS_ALGORITHMS",
+    "render_html_report",
+    "render_table",
+]

@@ -1,0 +1,132 @@
+"""Granula-style fine-grained performance modeling.
+
+Sec. II: "With a plugin to Graphalytics called Granula, one can
+explicitly specify a performance model to analyze specific execution
+behavior ... This requires in-depth knowledge of the source code and
+execution model."  This module is that plugin's shape: a user-declared
+*operation tree* (the performance model) that the harness populates
+with measured durations, yielding the per-kernel breakdown an HTML
+report hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.graphalytics.harness import GraphalyticsResult
+
+__all__ = ["Operation", "PerformanceModel", "standard_job_model"]
+
+
+@dataclass
+class Operation:
+    """One node of the operation tree."""
+
+    name: str
+    children: list["Operation"] = field(default_factory=list)
+    duration_s: float | None = None
+
+    def child(self, name: str) -> "Operation":
+        for c in self.children:
+            if c.name == name:
+                return c
+        raise ConfigError(f"operation {self.name!r} has no child {name!r}")
+
+    def total_s(self) -> float:
+        """Measured duration, or the sum of measured children."""
+        if self.duration_s is not None:
+            return self.duration_s
+        return sum(c.total_s() for c in self.children)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        mine = f"{self.total_s():.4f} s" if (
+            self.duration_s is not None or self.children) else "?"
+        lines = [f"{pad}{self.name}: {mine}"]
+        for c in self.children:
+            lines.append(c.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class PerformanceModel:
+    """A declared operation tree plus the attach rules."""
+
+    root: Operation
+
+    def attach(self, result: GraphalyticsResult) -> None:
+        """Populate the tree from one Graphalytics cell's breakdown."""
+        mapping = {
+            "file_read": ("LoadGraph", "ReadFile"),
+            "build": ("LoadGraph", "BuildStructure"),
+            "load": ("LoadGraph", "BuildStructure"),
+            "algorithm": ("ProcessGraph", "ExecuteAlgorithm"),
+        }
+        for key, (parent, leaf) in mapping.items():
+            if key in result.breakdown:
+                node = self.root.child(parent).child(leaf)
+                node.duration_s = (node.duration_s or 0.0) + \
+                    result.breakdown[key]
+
+    def report(self) -> str:
+        return self.root.render()
+
+
+def standard_job_model(job_name: str = "BenchmarkJob") -> PerformanceModel:
+    """The canonical Granula job model: load -> process -> cleanup."""
+    root = Operation(job_name, children=[
+        Operation("LoadGraph", children=[
+            Operation("ReadFile"),
+            Operation("BuildStructure"),
+        ]),
+        Operation("ProcessGraph", children=[
+            Operation("ExecuteAlgorithm"),
+        ]),
+        Operation("Cleanup", duration_s=0.0),
+    ])
+    return PerformanceModel(root=root)
+
+
+def from_kernel_result(system, loaded, result,
+                       job_name: str | None = None) -> PerformanceModel:
+    """Build a *fine-grained* model from one EPG* kernel execution.
+
+    This is the level of detail Granula needs in-depth source knowledge
+    to reach (Sec. II): per-superstep/level durations under
+    ExecuteAlgorithm, apportioned from the kernel's recorded
+    :class:`~repro.machine.threads.WorkProfile` through the same cost
+    model that priced the total.
+    """
+    from repro.systems import calibration
+
+    name = job_name or (f"{system.name}-{result.algorithm}-"
+                        f"{loaded.name}")
+    model = standard_job_model(name)
+    model.root.child("LoadGraph").child("ReadFile").duration_s = \
+        loaded.read_s
+    model.root.child("LoadGraph").child("BuildStructure").duration_s = \
+        loaded.build_s or 0.0
+
+    from repro.machine.threads import WorkProfile
+
+    exec_op = model.root.child("ProcessGraph").child("ExecuteAlgorithm")
+    costs = calibration.cost_params(system.name, result.algorithm,
+                                    system.machine)
+    rounds = result.profile.rounds
+    if rounds:
+        sims = [system.thread_model.simulate(
+                    WorkProfile(rounds=[r]), costs,
+                    system.n_threads).time_s - costs.startup_s
+                for r in rounds]
+        total = sum(sims)
+        scale = ((result.time_s - costs.startup_s) / total
+                 if total > 0 else 0.0)
+        exec_op.children.append(
+            Operation("EngineStartup", duration_s=costs.startup_s))
+        for i, t in enumerate(sims):
+            exec_op.children.append(Operation(
+                f"Superstep{i}", duration_s=max(t * scale, 0.0)))
+    else:
+        exec_op.duration_s = result.time_s
+    return model

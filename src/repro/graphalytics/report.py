@@ -1,0 +1,91 @@
+"""Graphalytics output: the Tables I/II layout and the Fig 7 HTML page.
+
+"Graphalytics generates an HTML report listing the runtimes for each
+dataset and each algorithm" -- one page per software package (Fig 7
+caption).  :func:`render_table` prints the paper's tabulation of those
+reports; :func:`render_html_report` writes the page itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.graphalytics.harness import (
+    GRAPHALYTICS_ALGORITHMS,
+    GraphalyticsResult,
+)
+
+__all__ = ["render_table", "render_html_report"]
+
+_ALGO_HEADERS = {"bfs": "BFS", "cdlp": "CDLP", "lcc": "LCC",
+                 "pagerank": "PR", "sssp": "SSSP", "wcc": "WCC"}
+_PLATFORM_HEADERS = {"graphbig": "GraphBIG", "powergraph": "PowerGraph",
+                     "graphmat": "GraphMat"}
+
+
+def render_table(results: list[GraphalyticsResult],
+                 title: str = "Graphalytics: tabulated sample run times "
+                              "(seconds)") -> str:
+    """The Table I / Table II layout: one block per platform, one row per
+    dataset, one column per algorithm."""
+    cells: dict[tuple[str, str, str], GraphalyticsResult] = {
+        (r.platform, r.dataset, r.algorithm): r for r in results}
+    platforms = sorted({r.platform for r in results},
+                       key=lambda p: list(_PLATFORM_HEADERS).index(p)
+                       if p in _PLATFORM_HEADERS else 99)
+    datasets = sorted({r.dataset for r in results})
+    algorithms = [a for a in GRAPHALYTICS_ALGORITHMS
+                  if any(r.algorithm == a for r in results)]
+
+    out = [title]
+    for platform in platforms:
+        header = _PLATFORM_HEADERS.get(platform, platform)
+        row0 = f"{header:<14}" + "".join(
+            f"{_ALGO_HEADERS.get(a, a.upper()):>9}" for a in algorithms)
+        out.append(row0)
+        for ds in datasets:
+            row = f"{ds:<14}"
+            for a in algorithms:
+                r = cells.get((platform, ds, a))
+                row += f"{r.display if r else '-':>9}"
+            out.append(row)
+        out.append("")
+    return "\n".join(out).rstrip()
+
+
+def render_html_report(results: list[GraphalyticsResult],
+                       out_dir: str | Path) -> list[Path]:
+    """Write one HTML page per platform (the Fig 7 artifact)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    platforms = sorted({r.platform for r in results})
+    for platform in platforms:
+        rows = [r for r in results if r.platform == platform]
+        datasets = sorted({r.dataset for r in rows})
+        algorithms = [a for a in GRAPHALYTICS_ALGORITHMS
+                      if any(r.algorithm == a for r in rows)]
+        cells = {(r.dataset, r.algorithm): r for r in rows}
+        html = [
+            "<!DOCTYPE html>",
+            f"<html><head><title>Graphalytics report: {platform}"
+            "</title></head><body>",
+            f"<h1>Benchmark report &mdash; "
+            f"{_PLATFORM_HEADERS.get(platform, platform)}</h1>",
+            "<p>LDBC Graphalytics v0.3 (simulated). One run per "
+            "experiment.</p>",
+            "<table border='1'><tr><th>dataset</th>",
+        ]
+        html += [f"<th>{_ALGO_HEADERS.get(a, a)}</th>" for a in algorithms]
+        html.append("</tr>")
+        for ds in datasets:
+            html.append(f"<tr><td>{ds}</td>")
+            for a in algorithms:
+                r = cells.get((ds, a))
+                html.append(f"<td>{r.display if r else '-'}</td>")
+            html.append("</tr>")
+        html.append("</table></body></html>")
+        path = out_dir / f"report-{platform}.html"
+        path.write_text("\n".join(html), encoding="utf-8")
+        paths.append(path)
+    return paths

@@ -1,0 +1,36 @@
+"""GraphBLAS-style graph algorithm building blocks.
+
+Paper Sec. V: "The standardization of graph algorithm building blocks
+(graph kernels) is being developed by the GraphBLAS Forum.  Once this
+standardization is finalized there is motivation from both library
+designers and performance analyzers to implement and profile each
+kernel."  This package implements that direction: a small GraphBLAS
+kernel set -- semirings, masked matrix-vector products, element-wise
+ops -- with a per-primitive profiler, plus the three paper algorithms
+expressed purely in those primitives (the same lowering GraphMat's
+engine performs internally).
+"""
+
+from repro.graphblas.algorithms import grb_bfs, grb_pagerank, grb_sssp
+from repro.graphblas.matrix import GrbMatrix
+from repro.graphblas.profiler import KernelProfiler
+from repro.graphblas.semiring import (
+    LOR_LAND,
+    MAX_MIN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    Semiring,
+)
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "LOR_LAND",
+    "MAX_MIN",
+    "GrbMatrix",
+    "KernelProfiler",
+    "grb_bfs",
+    "grb_sssp",
+    "grb_pagerank",
+]

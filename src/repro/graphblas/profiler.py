@@ -1,0 +1,61 @@
+"""Per-primitive profiling of GraphBLAS kernel executions.
+
+"There is motivation from both library designers and performance
+analyzers to implement and profile each kernel" (Sec. V): every
+:class:`~repro.graphblas.matrix.GrbMatrix` operation reports its name,
+the entries it touched, and the output size to the attached profiler,
+yielding a per-primitive cost table any backend can be compared on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelProfiler", "PrimitiveStats"]
+
+
+@dataclass
+class PrimitiveStats:
+    """Aggregate counters for one primitive under one semiring."""
+
+    calls: int = 0
+    entries_touched: float = 0.0
+    outputs_written: float = 0.0
+
+
+@dataclass
+class KernelProfiler:
+    """Collects primitive invocations; render with :meth:`report`."""
+
+    stats: dict[str, PrimitiveStats] = field(default_factory=dict)
+
+    def record(self, primitive: str, semiring: str, entries: float,
+               outputs: float) -> None:
+        key = f"{primitive}<{semiring}>"
+        s = self.stats.setdefault(key, PrimitiveStats())
+        s.calls += 1
+        s.entries_touched += entries
+        s.outputs_written += outputs
+
+    @property
+    def total_entries(self) -> float:
+        return sum(s.entries_touched for s in self.stats.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(s.calls for s in self.stats.values())
+
+    def report(self) -> str:
+        lines = [f"{'primitive':<28}{'calls':>8}{'entries':>14}"
+                 f"{'outputs':>12}"]
+        for key in sorted(self.stats):
+            s = self.stats[key]
+            lines.append(f"{key:<28}{s.calls:>8}"
+                         f"{s.entries_touched:>14.0f}"
+                         f"{s.outputs_written:>12.0f}")
+        lines.append(f"{'TOTAL':<28}{self.total_calls:>8}"
+                     f"{self.total_entries:>14.0f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.stats.clear()

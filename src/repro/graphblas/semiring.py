@@ -1,0 +1,57 @@
+"""Semirings: the algebra parameterizing every GraphBLAS kernel.
+
+A semiring bundles an additive monoid (ufunc + identity) with a
+multiplicative operator; ``mxv`` over different semirings yields
+different graph algorithms (the GraphBLAS insight):
+
+==============  ===========================  =================
+semiring        add / multiply               algorithm family
+==============  ===========================  =================
+PLUS_TIMES      ``+`` / ``*``                PageRank, counts
+MIN_PLUS        ``min`` / ``+``              shortest paths
+LOR_LAND        ``or`` / ``and``             reachability/BFS
+MAX_MIN         ``max`` / ``min``            bottleneck paths
+==============  ===========================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Semiring", "PLUS_TIMES", "MIN_PLUS", "LOR_LAND", "MAX_MIN"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An (add-monoid, multiply) pair over float64 (bools are 0/1)."""
+
+    name: str
+    add: np.ufunc
+    add_identity: float
+    multiply: np.ufunc
+
+    def __post_init__(self) -> None:
+        for op in (self.add, self.multiply):
+            if not isinstance(op, np.ufunc):
+                raise ConfigError("semiring operators must be ufuncs")
+
+    def reduce_segments(self, values: np.ndarray,
+                        seg_starts: np.ndarray) -> np.ndarray:
+        """Per-segment additive reduction (the heart of mxv)."""
+        if values.size == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.add.reduceat(values, seg_starts)
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise multiply of matrix entries with vector values."""
+        return self.multiply(a, b)
+
+
+PLUS_TIMES = Semiring("plus_times", np.add, 0.0, np.multiply)
+MIN_PLUS = Semiring("min_plus", np.minimum, np.inf, np.add)
+LOR_LAND = Semiring("lor_land", np.logical_or, 0.0, np.logical_and)
+MAX_MIN = Semiring("max_min", np.maximum, -np.inf, np.minimum)

@@ -1,0 +1,48 @@
+"""Harness logging.
+
+The pipeline can run for minutes at realistic scales; these helpers
+give it progress output without polluting library stdout (the paper's
+scripts echo progress between phases; we use the stdlib logging module
+under the ``repro`` namespace so applications keep full control).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+
+__all__ = ["get_logger", "enable_console_logging", "phase_timer"]
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Namespaced logger; quiet unless the application configures it."""
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """One-call opt-in used by ``epg --verbose``."""
+    logger = get_logger()
+    if not any(isinstance(h, logging.StreamHandler)
+               for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s",
+            datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+
+
+@contextmanager
+def phase_timer(phase: str, logger: logging.Logger | None = None):
+    """Log phase entry/exit with wall-clock duration."""
+    log = logger or get_logger("repro.pipeline")
+    log.info("%s: starting", phase)
+    t0 = time.perf_counter()
+    try:
+        yield
+    except Exception:
+        log.error("%s: failed after %.2fs", phase,
+                  time.perf_counter() - t0)
+        raise
+    log.info("%s: done in %.2fs", phase, time.perf_counter() - t0)

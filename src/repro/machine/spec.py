@@ -1,0 +1,99 @@
+"""Hardware description of the simulated experiment server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["MachineSpec", "haswell_server"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static machine parameters used by the cost and power models.
+
+    The defaults (:func:`haswell_server`) model the paper's testbed:
+    two Xeon E5-2699 v3 (18 cores each, SMT2), 256 GB DDR4, GNU/Linux,
+    GCC 4.8.5 / OpenMP 3.1.
+    """
+
+    name: str = "haswell-2699v3"
+    sockets: int = 2
+    cores_per_socket: int = 18
+    smt: int = 2
+    base_ghz: float = 2.3
+    #: Aggregate sustainable DRAM bandwidth (GB/s) with all channels busy.
+    mem_bw_gbs: float = 120.0
+    #: Bandwidth one thread can draw by itself (GB/s).
+    mem_bw_per_thread_gbs: float = 9.0
+    ram_gb: int = 256
+    #: Sequential file-read throughput (MB/s) of the storage the datasets
+    #: live on; drives simulated file-read phases.
+    file_read_mbs: float = 450.0
+    #: Idle ("sleep(10)") package power in watts.  Derived from Table III:
+    #: sleeping-energy / time is 24.74 W for every system row.
+    idle_pkg_watts: float = 24.74
+    #: Idle DRAM power in watts (Fig 9 left, bottom of the band).
+    idle_dram_watts: float = 9.6
+    #: Package power ceiling (TDP-ish envelope; Fig 9 tops out ~100 W).
+    max_pkg_watts: float = 145.0
+    #: DRAM power ceiling per the Fig 9 band.
+    max_dram_watts: float = 22.0
+
+    def __post_init__(self) -> None:
+        if min(self.sockets, self.cores_per_socket, self.smt) < 1:
+            raise ConfigError("sockets, cores, and smt must be >= 1")
+        if self.mem_bw_per_thread_gbs > self.mem_bw_gbs:
+            raise ConfigError("per-thread bandwidth exceeds machine peak")
+
+    @property
+    def n_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def n_threads(self) -> int:
+        return self.n_cores * self.smt
+
+    def bandwidth_gbs(self, n_threads: int) -> float:
+        """Aggregate DRAM bandwidth reachable by ``n_threads`` threads."""
+        if n_threads < 1:
+            raise ConfigError("n_threads must be >= 1")
+        return min(self.mem_bw_gbs, n_threads * self.mem_bw_per_thread_gbs)
+
+    def file_read_seconds(self, n_bytes: int | float) -> float:
+        """Time to stream ``n_bytes`` from storage (text parsing included
+        in per-format rate adjustments done by callers)."""
+        return float(n_bytes) / (self.file_read_mbs * 1e6)
+
+
+def haswell_server() -> MachineSpec:
+    """The paper's 72-thread research server (Sec. III-F)."""
+    return MachineSpec()
+
+
+def laptop() -> MachineSpec:
+    """A modest 4-core/8-thread mobile part.
+
+    The paper's closing argument: "increasing hardware heterogeneity
+    demands performance analysis be easily repeatable on the target
+    architecture."  Passing ``machine=laptop()`` to an
+    :class:`~repro.core.config.ExperimentConfig` reprices every
+    experiment for this box -- lower core count, single memory channel
+    pair, tighter power envelope -- without touching anything else.
+    """
+    return MachineSpec(
+        name="laptop-4c8t",
+        sockets=1,
+        cores_per_socket=4,
+        smt=2,
+        base_ghz=2.8,
+        mem_bw_gbs=30.0,
+        mem_bw_per_thread_gbs=12.0,
+        ram_gb=16,
+        file_read_mbs=1800.0,   # NVMe
+        idle_pkg_watts=4.5,
+        idle_dram_watts=1.2,
+        max_pkg_watts=28.0,
+        max_dram_watts=4.0,
+    )

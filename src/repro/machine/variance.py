@@ -1,0 +1,93 @@
+"""Deterministic run-to-run variance.
+
+The paper plots 32-point box plots per (system, algorithm) cell and
+explains the Graph500's odd 2-thread point by noise sensitivity:
+"Because the Graph500 spends a shorter amount of time executing in
+general ... it is more sensitive to spikes in CPU usage" (Sec. IV-B).
+
+:class:`VarianceModel` reproduces that texture deterministically: every
+measurement gets a multiplicative log-normal jitter plus an occasional
+additive "background CPU spike".  Both draws are keyed by the full
+measurement identity (system, algorithm, dataset, root, threads, trial),
+so re-running an experiment reproduces its exact box plot, and the
+*relative* impact of a spike is larger on short measurements -- which is
+precisely why short kernels show wider relative spreads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+__all__ = ["VarianceModel"]
+
+
+class VarianceModel:
+    """Seeded noise generator for simulated measurements.
+
+    Parameters
+    ----------
+    seed:
+        Experiment-level seed; all jitter derives from it.
+    sigma:
+        Log-normal sigma of the multiplicative jitter.
+    spike_rate_hz:
+        Expected background-spike arrivals per second of *wall* time;
+        models other OS activity on the otherwise idle server.
+    spike_scale_s:
+        Mean cost of one spike (scheduler preemption + cache refill).
+    sensitivity:
+        Per-measurement multiplier on both effects; systems that run
+        many tiny kernels back-to-back (the Graph500) use > 1.
+    """
+
+    def __init__(self, seed: int, sigma: float = 0.035,
+                 spike_rate_hz: float = 0.8,
+                 spike_scale_s: float = 0.006):
+        self.seed = int(seed)
+        self.sigma = float(sigma)
+        self.spike_rate_hz = float(spike_rate_hz)
+        self.spike_scale_s = float(spike_scale_s)
+
+    # ------------------------------------------------------------------
+    def _rng(self, key: tuple) -> np.random.Generator:
+        """Derive an independent generator from the measurement identity."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(struct.pack("<q", self.seed))
+        for part in key:
+            h.update(repr(part).encode())
+            h.update(b"\x1f")
+        return np.random.default_rng(
+            int.from_bytes(h.digest(), "little"))
+
+    # ------------------------------------------------------------------
+    def jitter(self, duration_s: float, key: tuple,
+               sensitivity: float = 1.0) -> float:
+        """Return ``duration_s`` with deterministic measurement noise.
+
+        The multiplicative term models clock/frequency wander; the
+        additive term models background CPU spikes whose *count* depends
+        on exposure time but whose *relative* damage shrinks as the
+        measurement grows -- short kernels can double, long ones barely
+        move.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        rng = self._rng(key)
+        mult = float(np.exp(rng.normal(0.0, self.sigma * sensitivity)))
+        # Expected spike count over the measurement, with a floor so even
+        # instantaneous kernels can be hit by an in-flight spike.
+        lam = self.spike_rate_hz * max(duration_s, 0.02) * sensitivity
+        n_spikes = rng.poisson(lam)
+        spikes = float(rng.exponential(
+            self.spike_scale_s, size=n_spikes).sum()) if n_spikes else 0.0
+        return duration_s * mult + spikes
+
+    def power_jitter(self, watts: float, key: tuple,
+                     sensitivity: float = 1.0) -> float:
+        """Noise for power readings (RAPL sampling quantization)."""
+        rng = self._rng(("power",) + key)
+        return watts * float(
+            np.exp(rng.normal(0.0, 0.02 * sensitivity)))

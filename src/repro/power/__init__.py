@@ -1,0 +1,38 @@
+"""Simulated power and energy measurement.
+
+The paper (Sec. IV-D) measures package and DRAM energy through PAPI's
+interface to Intel RAPL -- model-specific registers that integrate power
+into energy counters.  This package reproduces that stack on top of the
+simulated clock:
+
+* :mod:`~repro.power.rapl` -- the counter simulator (integrates the
+  clock's power timeline, reports nanojoules as RAPL does);
+* :mod:`~repro.power.papi` -- the four-call C API of the paper's Fig 10
+  (``power_rapl_init/start/end/print``) as a Python context;
+* :mod:`~repro.power.energy` -- per-system power parameters, the
+  ``sleep(10)`` baseline, and the Table III accounting (energy per root,
+  sleeping energy, increase over sleep).
+"""
+
+from repro.power.energy import (
+    EnergyReport,
+    PowerParams,
+    instantaneous_power,
+    sleep_baseline,
+)
+from repro.power.papi import PowerRapl, power_rapl_init
+from repro.power.rapl import RaplCounters, RaplSimulator
+from repro.power.wattprof import PowerTrace, WattProfBackend
+
+__all__ = [
+    "PowerParams",
+    "EnergyReport",
+    "instantaneous_power",
+    "sleep_baseline",
+    "RaplCounters",
+    "RaplSimulator",
+    "PowerRapl",
+    "power_rapl_init",
+    "PowerTrace",
+    "WattProfBackend",
+]

@@ -1,0 +1,117 @@
+"""Per-system power parameters and Table III energy accounting.
+
+Calibration anchors (paper Table III and Fig 9, Kronecker scale 22, 32
+threads during BFS):
+
+==========  ==============  ================
+system      CPU power (W)   DRAM power (W)
+==========  ==============  ================
+GAP         72.38           ~16.5
+Graph500    97.17           ~18.5
+GraphBIG    78.01           ~14.5
+GraphMat    70.12           ~11.5 (lowest)
+sleep(10)   24.74           ~9.6
+==========  ==============  ================
+
+The CPU column is exact (Table III); the DRAM column reads Fig 9's
+boxes.  :class:`PowerParams` stores each system's 32-thread anchors;
+:func:`instantaneous_power` scales them to other thread counts through
+the machine model's effective parallelism (power grows with the number
+of busy execution units, saturating at the package limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.spec import MachineSpec
+from repro.machine.threads import ThreadModel
+
+__all__ = ["PowerParams", "EnergyReport", "instantaneous_power",
+           "sleep_baseline"]
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """A system's power identity: draw at the 32-thread anchor point."""
+
+    pkg_watts_32t: float
+    dram_watts_32t: float
+    #: SMT yield used for the parallelism scaling (matches the system's
+    #: CostParams so power tracks the same utilization curve).
+    smt_yield: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.pkg_watts_32t <= 0 or self.dram_watts_32t <= 0:
+            raise ConfigError("power anchors must be positive")
+
+
+def instantaneous_power(machine: MachineSpec, params: PowerParams,
+                        n_threads: int) -> tuple[float, float]:
+    """(package, DRAM) watts while running on ``n_threads`` threads.
+
+    Active power above idle scales with effective parallelism relative
+    to the 32-thread anchor and saturates at the package envelope.
+    DRAM power scales more weakly (bandwidth saturates before cores do).
+    """
+    tm = ThreadModel(machine)
+    p = tm.effective_parallelism(n_threads, params.smt_yield)
+    p32 = tm.effective_parallelism(32, params.smt_yield)
+
+    pkg_active = (params.pkg_watts_32t - machine.idle_pkg_watts) * (p / p32)
+    pkg = min(machine.idle_pkg_watts + pkg_active, machine.max_pkg_watts)
+
+    dram_frac = min((p / p32) ** 0.5, 1.2)
+    dram_active = (params.dram_watts_32t - machine.idle_dram_watts) * dram_frac
+    dram = min(machine.idle_dram_watts + max(dram_active, 0.0),
+               machine.max_dram_watts)
+    return pkg, dram
+
+
+def sleep_baseline(machine: MachineSpec, duration_s: float = 10.0
+                   ) -> tuple[float, float]:
+    """Power drawn by the paper's baseline program: one ``sleep(10)``.
+
+    Returns (package watts, DRAM watts); multiply by a kernel's runtime
+    to get Table III's "Sleeping Energy".
+    """
+    if duration_s <= 0:
+        raise ConfigError("sleep duration must be positive")
+    return machine.idle_pkg_watts, machine.idle_dram_watts
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Table III row for one measured kernel execution."""
+
+    time_s: float
+    avg_pkg_watts: float
+    avg_dram_watts: float
+    pkg_energy_j: float
+    dram_energy_j: float
+    sleep_energy_j: float
+
+    @property
+    def increase_over_sleep(self) -> float:
+        """Ratio of consumed to would-have-slept package energy."""
+        if self.sleep_energy_j == 0:
+            return float("inf")
+        return self.pkg_energy_j / self.sleep_energy_j
+
+    @staticmethod
+    def from_measurement(pkg_j: float, dram_j: float, time_s: float,
+                         machine: MachineSpec) -> "EnergyReport":
+        if time_s < 0:
+            raise ConfigError("negative measurement duration")
+        sleep_w, _ = sleep_baseline(machine)
+        avg_pkg = pkg_j / time_s if time_s > 0 else 0.0
+        avg_dram = dram_j / time_s if time_s > 0 else 0.0
+        return EnergyReport(
+            time_s=time_s,
+            avg_pkg_watts=avg_pkg,
+            avg_dram_watts=avg_dram,
+            pkg_energy_j=pkg_j,
+            dram_energy_j=dram_j,
+            sleep_energy_j=sleep_w * time_s,
+        )

@@ -1,0 +1,101 @@
+"""The paper's Fig 10 instrumentation API, reproduced in Python.
+
+The paper adds power profiling to each C/C++ system with four calls::
+
+    power_rapl_t ps;
+    power_rapl_init(&ps);
+    power_rapl_start(&ps);
+    /* region of code to profile */
+    power_rapl_end(&ps);
+    power_rapl_print(&ps);
+
+This module provides the same four entry points (plus a context-manager
+convenience) over the simulated RAPL counters.  ``power_rapl_print``
+emits the log lines the EPG* parser consumes, in the same style the
+paper's helper library prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PowerMeasurementError
+from repro.machine.clock import SimulatedClock
+from repro.power.rapl import RaplCounters, RaplSimulator
+
+__all__ = ["PowerRapl", "power_rapl_init", "power_rapl_start",
+           "power_rapl_end", "power_rapl_print"]
+
+
+@dataclass
+class PowerRapl:
+    """Python counterpart of the paper's ``power_rapl_t`` struct."""
+
+    rapl: RaplSimulator
+    start_sample: RaplCounters | None = None
+    end_sample: RaplCounters | None = None
+    lines: list[str] = field(default_factory=list)
+
+    # Context-manager sugar: ``with power_rapl_init(clock) as ps: ...``
+    def __enter__(self) -> "PowerRapl":
+        power_rapl_start(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            power_rapl_end(self)
+
+    # Results ----------------------------------------------------------
+    def _require_complete(self) -> tuple[float, float, float]:
+        if self.start_sample is None or self.end_sample is None:
+            raise PowerMeasurementError(
+                "power_rapl_end must follow power_rapl_start")
+        return RaplSimulator.delta_joules(self.start_sample, self.end_sample)
+
+    @property
+    def package_joules(self) -> float:
+        return self._require_complete()[0]
+
+    @property
+    def dram_joules(self) -> float:
+        return self._require_complete()[1]
+
+    @property
+    def duration_s(self) -> float:
+        return self._require_complete()[2]
+
+
+def power_rapl_init(clock: SimulatedClock) -> PowerRapl:
+    """Allocate a measurement handle (``power_rapl_init``)."""
+    return PowerRapl(rapl=RaplSimulator(clock))
+
+
+def power_rapl_start(ps: PowerRapl) -> None:
+    """Snapshot the counters at region entry."""
+    ps.start_sample = ps.rapl.sample()
+    ps.end_sample = None
+
+
+def power_rapl_end(ps: PowerRapl) -> None:
+    """Snapshot the counters at region exit."""
+    if ps.start_sample is None:
+        raise PowerMeasurementError(
+            "power_rapl_start must be called before power_rapl_end")
+    ps.end_sample = ps.rapl.sample()
+
+
+def power_rapl_print(ps: PowerRapl) -> list[str]:
+    """Format the measurement like the paper's helper library.
+
+    Returns (and records on the handle) lines such as::
+
+        PACKAGE_ENERGY:PACKAGE0 1184213750 nJ 0.016360 s
+        DRAM_ENERGY:PACKAGE0 267481600 nJ 0.016360 s
+    """
+    pkg_j, dram_j, dur = ps._require_complete()
+    lines = [
+        f"PACKAGE_ENERGY:PACKAGE0 {int(pkg_j * 1e9)} nJ {dur:.6f} s",
+        f"DRAM_ENERGY:PACKAGE0 {int(dram_j * 1e9)} nJ {dur:.6f} s",
+    ]
+    ps.lines.extend(lines)
+    return lines

@@ -1,0 +1,200 @@
+"""The common system interface EPG* drives.
+
+A :class:`GraphSystem` exposes exactly the surface the paper's shell
+harness sees: load a homogenized dataset (producing read/construction
+phase times), run one algorithm (producing a kernel time), and emit a
+native-format log.  Internally each system computes real results with
+its own data structures and strategies while recording a
+:class:`~repro.machine.threads.WorkProfile` of the operations performed;
+the shared machinery here prices that profile on the simulated machine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.datasets.homogenize import HomogenizedDataset
+from repro.errors import SystemCapabilityError
+from repro.graph.edgelist import EdgeList
+from repro.machine.spec import MachineSpec, haswell_server
+from repro.machine.threads import SimResult, ThreadModel, WorkProfile
+from repro.power.energy import PowerParams
+from repro.systems import calibration
+
+__all__ = ["GraphSystem", "LoadedGraph", "KernelResult", "ALGORITHMS"]
+
+#: Algorithm identifiers used across the package.  ``bc`` and ``tc``
+#: are the paper's Sec. V extension kernels (GAP provides them).
+ALGORITHMS = ("bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc",
+              "bc", "tc")
+
+
+@dataclass
+class LoadedGraph:
+    """A dataset ingested into one system's internal representation."""
+
+    system: str
+    name: str
+    n_vertices: int
+    n_arcs: int
+    directed: bool
+    weighted: bool
+    #: Simulated seconds spent reading the input file from disk.
+    read_s: float
+    #: Simulated seconds spent building the data structure from the
+    #: in-RAM tuples; ``None`` when the system fuses read+build
+    #: (GraphBIG, PowerGraph -- paper Sec. III-B).
+    build_s: float | None
+    #: System-specific structure (CSR pair, DCSR, partition set, ...).
+    data: Any
+    #: Bytes of the input file actually read.
+    input_bytes: int = 0
+
+    @property
+    def load_s(self) -> float:
+        return self.read_s + (self.build_s or 0.0)
+
+
+@dataclass
+class KernelResult:
+    """One algorithm execution: real outputs, priced time."""
+
+    system: str
+    algorithm: str
+    time_s: float
+    sim: SimResult
+    profile: WorkProfile
+    output: dict[str, np.ndarray]
+    root: int | None = None
+    iterations: int | None = None
+    counters: dict[str, float] = field(default_factory=dict)
+
+
+class GraphSystem(ABC):
+    """Base class for the five reimplemented systems."""
+
+    #: Registry name, e.g. ``"gap"``.
+    name: ClassVar[str]
+    #: Algorithms this system ships reference implementations for.
+    provides: ClassVar[frozenset[str]]
+    #: False when the system reads the file and builds the structure in
+    #: one pass, making construction time unmeasurable (Sec. III-B).
+    separable_construction: ClassVar[bool]
+    #: Key of the homogenized input file this system reads.
+    input_key: ClassVar[str]
+    #: True for the Graph500, which only processes the synthetic graphs
+    #: its own generator produces.
+    kronecker_only: ClassVar[bool] = False
+
+    def __init__(self, machine: MachineSpec | None = None,
+                 n_threads: int = 32):
+        if n_threads < 1:
+            raise SystemCapabilityError("n_threads must be >= 1")
+        self.machine = machine or haswell_server()
+        self.n_threads = int(n_threads)
+        self.thread_model = ThreadModel(self.machine)
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+    def supports(self, algorithm: str) -> bool:
+        return algorithm in self.provides
+
+    def require(self, algorithm: str) -> None:
+        if not self.supports(algorithm):
+            raise SystemCapabilityError(
+                f"{self.name} provides no reference implementation of "
+                f"{algorithm} (provides: {sorted(self.provides)})")
+
+    @property
+    def power(self) -> PowerParams:
+        return calibration.power_params(self.name)
+
+    @property
+    def noise_sensitivity(self) -> float:
+        return calibration.noise_sensitivity(self.name)
+
+    # ------------------------------------------------------------------
+    # Loading (template method)
+    # ------------------------------------------------------------------
+    def load(self, dataset: HomogenizedDataset) -> LoadedGraph:
+        """Ingest a homogenized dataset.
+
+        Reads this system's native file (real I/O), builds the internal
+        structure (real work), and prices both phases.  Systems with
+        fused read+build report ``build_s=None`` and fold the
+        construction cost into ``read_s`` (their "load" time).
+        """
+        if self.kronecker_only and not dataset.name.startswith("kron"):
+            raise SystemCapabilityError(
+                f"{self.name} only runs graphs from its own Kronecker "
+                f"generator, not {dataset.name!r}")
+        path = dataset.path(self.input_key)
+        n_bytes = (sum(f.stat().st_size for f in path.iterdir())
+                   if path.is_dir() else path.stat().st_size)
+        edges = self._read_input(dataset)
+        read_s = n_bytes / (calibration.read_rate_mbs(
+            self._read_rate_key()) * 1e6)
+
+        data, build_profile = self._build(edges, dataset)
+        build_sim = self.thread_model.simulate(
+            build_profile, calibration.build_params(self.name, self.machine),
+            self.n_threads)
+
+        if self.separable_construction:
+            return LoadedGraph(
+                system=self.name, name=dataset.name,
+                n_vertices=dataset.n_vertices, n_arcs=self._n_arcs(data),
+                directed=dataset.directed, weighted=True,
+                read_s=read_s, build_s=build_sim.time_s, data=data,
+                input_bytes=n_bytes)
+        return LoadedGraph(
+            system=self.name, name=dataset.name,
+            n_vertices=dataset.n_vertices, n_arcs=self._n_arcs(data),
+            directed=dataset.directed, weighted=True,
+            read_s=read_s + build_sim.time_s, build_s=None, data=data,
+            input_bytes=n_bytes)
+
+    def _read_rate_key(self) -> str:
+        return self.input_key
+
+    @abstractmethod
+    def _read_input(self, dataset: HomogenizedDataset) -> EdgeList:
+        """Actually read this system's native file."""
+
+    @abstractmethod
+    def _build(self, edges: EdgeList, dataset: HomogenizedDataset
+               ) -> tuple[Any, WorkProfile]:
+        """Build the internal structure; report the construction work."""
+
+    @abstractmethod
+    def _n_arcs(self, data: Any) -> int:
+        """Stored arc count of the built structure."""
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, loaded: LoadedGraph, algorithm: str,
+            root: int | None = None, **params: Any) -> KernelResult:
+        """Execute one kernel and price it."""
+        self.require(algorithm)
+        if algorithm in ("bfs", "sssp") and root is None:
+            raise SystemCapabilityError(f"{algorithm} requires a root")
+        method = getattr(self, f"_run_{algorithm}")
+        if algorithm in ("bfs", "sssp"):
+            output, profile, iterations, counters = method(
+                loaded, int(root), **params)
+        else:
+            output, profile, iterations, counters = method(loaded, **params)
+        sim = self.thread_model.simulate(
+            profile,
+            calibration.cost_params(self.name, algorithm, self.machine),
+            self.n_threads)
+        return KernelResult(
+            system=self.name, algorithm=algorithm, time_s=sim.time_s,
+            sim=sim, profile=profile, output=output, root=root,
+            iterations=iterations, counters=counters)

@@ -1,0 +1,68 @@
+"""GAP's remaining benchmark kernels: BC and TC.
+
+The full GAP Benchmark Suite ships six benchmarks (bfs, sssp, pr, cc,
+bc, tc).  The paper's EPG* only drives the common three (Sec. III-D),
+naming betweenness centrality and triangle counting as future work
+(Sec. V); this module implements them so the harness can be extended,
+with work profiles priced through dedicated calibration anchors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bc import brandes_single_source
+from repro.algorithms.tc import triangle_count
+from repro.machine.threads import WorkProfile
+from repro.systems.gap.graph import GapGraph
+
+__all__ = ["bc_sampled", "tc_ordered", "DEFAULT_BC_SOURCES"]
+
+#: GAP's default: approximate BC from 16 sampled sources.
+DEFAULT_BC_SOURCES = 16
+
+
+def bc_sampled(graph: GapGraph, sources: np.ndarray
+               ) -> tuple[np.ndarray, WorkProfile, dict]:
+    """Approximate betweenness from sampled sources (GAP ``bc``).
+
+    Work: two passes over the reached edges per source (forward sigma,
+    backward dependency).
+    """
+    n = graph.n
+    out = graph.out
+    deg = out.out_degrees()
+    scores = np.zeros(n)
+    profile = WorkProfile()
+    total_reached_edges = 0
+    for s in np.asarray(sources, dtype=np.int64):
+        delta, _, level = brandes_single_source(out, int(s))
+        delta[s] = 0.0
+        scores += delta
+        reached = level >= 0
+        edges = int(deg[reached].sum())
+        total_reached_edges += edges
+        # Forward + backward sweeps.
+        profile.add_round(units=2.0 * edges + 2.0 * int(reached.sum()),
+                          memory_bytes=40.0 * edges, skew=0.15)
+    if len(sources):
+        scores *= n / float(len(sources))
+    stats = {"sources": int(len(sources)),
+             "reached_edges": total_reached_edges}
+    return scores, profile, stats
+
+
+def tc_ordered(graph: GapGraph) -> tuple[int, WorkProfile, dict]:
+    """Triangle count with degree-ordered orientation (GAP ``tc``).
+
+    Work: the oriented wedge checks, ~sum over vertices of
+    out-degree^2 under the orientation (roughly half the full wedge
+    count).
+    """
+    count = triangle_count(graph.out)
+    deg = graph.out_degree().astype(np.float64)
+    wedges = float((deg * (deg - 1)).sum()) / 2.0
+    profile = WorkProfile()
+    profile.add_round(units=max(wedges, 1.0),
+                      memory_bytes=8.0 * max(wedges, 1.0), skew=0.3)
+    return count, profile, {"triangles": count, "wedges": wedges}

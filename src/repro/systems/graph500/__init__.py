@@ -1,0 +1,23 @@
+"""Graph500 reference implementation (OpenMP flavor).
+
+"The canonical BFS benchmark which consists of a specification and a
+reference implementation ... We use a modified version most similar to
+2.1.4 ... only the OpenMP version.  The Graph500 uses a compressed
+sparse row (CSR) representation." (paper Sec. III-C)
+
+Behavioural fidelity points:
+
+* BFS only -- it provides nothing else;
+* processes only the Kronecker graphs of its own generator;
+* Benchmark 1 ("Search") structure: one timed construction of the CSR
+  from the unsorted in-RAM tuple list, then all roots searched
+  back-to-back in a single execution (Fig 2: "The Graph500 only
+  constructs its graph once"; Fig 9: "we only get a single data point");
+* level-synchronous top-down BFS over a visited bitmap with
+  compare-and-swap parent claims -- whose cache-line contention at 2-4
+  threads is the model behind its Fig 6 efficiency dip.
+"""
+
+from repro.systems.graph500.system import Graph500System
+
+__all__ = ["Graph500System"]

@@ -1,0 +1,23 @@
+"""GraphBIG reimplementation.
+
+"GraphBIG benchmark suite.  We consider only the shared memory
+solutions ... GraphBIG uses a CSR representation for graphs and OpenMP
+for parallelism." (paper Sec. III-C)
+
+Behavioural fidelity points:
+
+* vertex-centric property-graph framework (IBM System G heritage):
+  every vertex carries a property record, and kernels go through the
+  property API -- the per-edge overhead that makes GraphBIG ~85x slower
+  per BFS edge than the Graph500 while still being the fastest BFS on
+  dota-league (plain top-down never wastes bottom-up probes, Fig 8);
+* reads its CSV dataset directory and builds the graph *simultaneously*
+  -- construction time is not separable (Figs 2-3 omit it);
+* plain queue-based top-down BFS, Bellman-Ford SSSP, Jacobi PageRank
+  with the homogenized L1 stop, HashMin WCC, synchronous CDLP and
+  wedge-checking LCC (the six Graphalytics kernels of Tables I-II).
+"""
+
+from repro.systems.graphbig.system import GraphBigSystem
+
+__all__ = ["GraphBigSystem"]

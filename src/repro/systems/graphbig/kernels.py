@@ -1,0 +1,231 @@
+"""GraphBIG vertex-centric kernels.
+
+All kernels operate on the property-graph structure
+(:class:`~repro.systems.graphbig.system.PropertyGraph`) through
+per-vertex property arrays, in the bulk-synchronous vertex-centric style
+of the original benchmark suite: a task queue of active vertices, one
+"process vertex" sweep per superstep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.machine.threads import WorkProfile
+
+__all__ = ["bfs_queue", "sssp_bellman_ford", "pagerank_jacobi",
+           "wcc_hashmin", "cdlp_sync", "lcc_wedges",
+           "PROPERTY_ACCESS_COST"]
+
+#: Work units charged per vertex *visit* over and above its edge work:
+#: GraphBIG routes every state change through the property-graph API
+#: (locate record, check color, update fields), costing roughly this
+#: many edge-traversal equivalents.  The term is why GraphBIG's
+#: effective per-edge cost *improves* on dense graphs -- the overhead
+#: amortizes over more edges per vertex -- which is the shape behind its
+#: strong dota-league BFS in the paper's Fig 8.
+PROPERTY_ACCESS_COST = 16.0
+
+
+def _expand(csr, frontier: np.ndarray):
+    """Gather all out-slots of the frontier (shared helper)."""
+    starts = csr.row_ptr[frontier]
+    counts = csr.row_ptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return (np.empty(0, np.int64), np.empty(0, np.int64),
+                np.empty(0, np.int64), 0)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    slots = np.repeat(starts - offsets, counts) + np.arange(total)
+    return csr.col_idx[slots], np.repeat(frontier, counts), slots, total
+
+
+def bfs_queue(pg, root: int):
+    """Task-queue BFS: plain top-down, no bitmap, no direction switch.
+
+    The vertex property record (level + parent + color) is touched for
+    every examined edge, which is what the calibration's high per-edge
+    constant prices.
+    """
+    csr = pg.out
+    n = pg.n
+    level = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    parent[root] = root
+    frontier = np.array([root], dtype=np.int64)
+    profile = WorkProfile()
+    deg = csr.out_degrees()
+    max_deg = float(deg.max()) if n else 0.0
+    depth = 0
+    while frontier.size:
+        depth += 1
+        nbrs, srcs, _, total = _expand(csr, frontier)
+        profile.add_round(
+            units=total + PROPERTY_ACCESS_COST * frontier.size,
+            memory_bytes=32.0 * total,
+            skew=min(max_deg / max(total, 1.0), 1.0))
+        if total == 0:
+            break
+        fresh = level[nbrs] == -1
+        nbrs, srcs = nbrs[fresh], srcs[fresh]
+        if nbrs.size == 0:
+            break
+        order = np.lexsort((srcs, nbrs))
+        nbrs_s, srcs_s = nbrs[order], srcs[order]
+        first = np.ones(nbrs_s.size, dtype=bool)
+        first[1:] = nbrs_s[1:] != nbrs_s[:-1]
+        new_v = nbrs_s[first]
+        level[new_v] = depth
+        parent[new_v] = srcs_s[first]
+        frontier = new_v
+    return parent, level, profile, {"depth": depth}
+
+
+def sssp_bellman_ford(pg, root: int):
+    """Queue-driven Bellman-Ford: active vertices relax all out-edges."""
+    csr = pg.out
+    n = pg.n
+    dist = np.full(n, np.inf)
+    dist[root] = 0.0
+    active = np.array([root], dtype=np.int64)
+    profile = WorkProfile()
+    deg = csr.out_degrees()
+    max_deg = float(deg.max()) if n else 0.0
+    supersteps = 0
+    relaxations = 0
+    while active.size:
+        supersteps += 1
+        nbrs, srcs, slots, total = _expand(csr, active)
+        relaxations += total
+        profile.add_round(
+            units=total + PROPERTY_ACCESS_COST * active.size,
+            memory_bytes=28.0 * total,
+            skew=min(max_deg / max(total, 1.0), 1.0))
+        if total == 0:
+            break
+        cand = dist[srcs] + csr.weights[slots]
+        better = cand < dist[nbrs]
+        if not better.any():
+            break
+        targets = nbrs[better]
+        np.minimum.at(dist, targets, cand[better])
+        active = np.unique(targets)
+    return dist, profile, {"supersteps": supersteps,
+                           "relaxations": relaxations}
+
+
+def pagerank_jacobi(pg, damping: float, epsilon: float,
+                    max_iterations: int):
+    """Pure Jacobi sweeps with the homogenized L1 stopping criterion.
+
+    Ranks are normalized (init ``1/n``); with the homogenized absolute
+    L1 threshold this puts GraphBIG's sweep count between GAP's
+    Gauss-Seidel (fewer) and GraphMat's no-change float32 criterion and
+    PowerGraph's unnormalized toolkit (more) -- the Fig 4 spread.
+    """
+    csr = pg.out
+    n = pg.n
+    out_deg = csr.out_degrees().astype(np.float64)
+    dangling = out_deg == 0
+    src = csr.source_ids()
+    dst = csr.col_idx
+    rank = np.full(n, 1.0 / n)
+    base = (1.0 - damping) / n
+    profile = WorkProfile()
+    m = csr.n_edges
+    iterations = max_iterations
+    for it in range(1, max_iterations + 1):
+        contrib = np.zeros(n)
+        if m:
+            np.add.at(contrib, dst, rank[src] / out_deg[src])
+        new_rank = base + damping * (contrib + rank[dangling].sum() / n)
+        delta = float(np.abs(new_rank - rank).sum())
+        rank = new_rank
+        profile.add_round(units=m + n, memory_bytes=24.0 * m + 24.0 * n,
+                          skew=0.05)
+        if delta < epsilon:
+            iterations = it
+            break
+    return rank, iterations, profile
+
+
+def wcc_hashmin(pg):
+    """HashMin label propagation over the undirected view."""
+    n = pg.n
+    src = np.concatenate([pg.out.source_ids(), pg.out.col_idx])
+    dst = np.concatenate([pg.out.col_idx, pg.out.source_ids()])
+    labels = np.arange(n, dtype=np.int64)
+    profile = WorkProfile()
+    rounds = 0
+    m = src.size
+    while True:
+        rounds += 1
+        new_labels = labels.copy()
+        if m:
+            np.minimum.at(new_labels, dst, labels[src])
+        profile.add_round(units=m + n, memory_bytes=16.0 * m, skew=0.05)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    return labels, rounds, profile
+
+
+def cdlp_sync(pg, iterations: int):
+    """Synchronous label propagation (Graphalytics CDLP semantics)."""
+    from repro.algorithms.cdlp import propagate_labels_once
+
+    n = pg.n
+    src = pg.out.source_ids()
+    dst = pg.out.col_idx
+    labels = np.arange(n, dtype=np.int64)
+    profile = WorkProfile()
+    m = src.size
+    for _ in range(iterations):
+        labels = propagate_labels_once(src, dst, labels, n)
+        profile.add_round(units=m + n, memory_bytes=32.0 * m, skew=0.08)
+    return labels, iterations, profile
+
+
+def lcc_wedges(pg, batch_rows: int = 2048):
+    """Per-vertex clustering via neighborhood wedge checks.
+
+    Work is charged per wedge (ordered neighbor pair), matching the
+    vertex-centric implementation that intersects adjacency lists --
+    the cost blow-up on dense graphs that makes GraphBIG's dota-league
+    LCC the largest number in Table I (1073.7 s).
+    """
+    n = pg.n
+    src = pg.out.source_ids()
+    dst = pg.out.col_idx
+    keep = src != dst
+    a_dir = sp.csr_matrix(
+        (np.ones(int(keep.sum()), dtype=np.int64),
+         (src[keep], dst[keep])), shape=(n, n))
+    a_dir.sum_duplicates()
+    a_dir.data[:] = 1
+    und = a_dir + a_dir.T
+    und.data[:] = 1
+    und.sum_duplicates()
+    und.data[:] = 1
+    und = und.tocsr()
+    deg = np.asarray(und.sum(axis=1)).ravel().astype(np.float64)
+
+    tri = np.zeros(n, dtype=np.float64)
+    profile = WorkProfile()
+    wedge_weights = deg * (deg - 1)
+    max_w = float(wedge_weights.max()) if n else 0.0
+    for lo in range(0, n, batch_rows):
+        hi = min(lo + batch_rows, n)
+        block = (und[lo:hi] @ a_dir).multiply(und[lo:hi])
+        tri[lo:hi] = np.asarray(block.sum(axis=1)).ravel()
+        units = float(wedge_weights[lo:hi].sum()) + (hi - lo)
+        profile.add_round(units=units, memory_bytes=8.0 * units,
+                          skew=min(max_w / max(units, 1.0), 1.0))
+
+    denom = wedge_weights
+    out = np.zeros(n, dtype=np.float64)
+    mask = denom > 0
+    out[mask] = tri[mask] / denom[mask]
+    return out, profile, {"wedges": float(denom.sum())}

@@ -1,0 +1,26 @@
+"""GraphMat reimplementation.
+
+"GraphMat, a library and programming model along with reference
+implementations of common algorithms.  GraphMat uses a doubly-compressed
+sparse row representation and OpenMP for parallelism." (Sec. III-C)
+
+Behavioural fidelity points:
+
+* every algorithm is a generalized SpMV over a semiring on the
+  doubly-compressed transpose adjacency (vertex programs compile to
+  SparseMatVec in the real system);
+* distinct execution phases logged in GraphMat's native format, the
+  one Table I excerpts: file read -> graph load -> engine init ->
+  "run algorithm 1 (count degree)" -> "run algorithm 2 (...)" ->
+  print output -> deinitialize;
+* PageRank runs in single precision and stops only when *no vertex's
+  rank changes between iterations* (infinity-norm exactly zero) -- the
+  stopping-criterion mismatch Sec. IV-A analyzes, which gives GraphMat
+  the largest iteration counts in Fig 4;
+* SpMV machinery overhead on small graphs, paying off on the dense
+  dota-league (Sec. IV-C).
+"""
+
+from repro.systems.graphmat.system import GraphMatSystem
+
+__all__ = ["GraphMatSystem"]

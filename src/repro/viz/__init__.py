@@ -1,0 +1,21 @@
+"""Performance visualization: the ``*`` = "performance visualizer".
+
+The paper's phase 5 renders box plots and scaling curves with R; this
+package renders the same figures as standalone SVG files with no
+plotting dependency -- a pure-Python SVG writer
+(:mod:`~repro.viz.svg`), chart primitives (:mod:`~repro.viz.charts`:
+box plots with log axes, line charts, grouped bars), and one
+ready-made renderer per paper figure (:mod:`~repro.viz.figures`).
+
+Usage::
+
+    from repro.viz import render_all_figures
+    render_all_figures(analysis, "figures/")
+"""
+
+from repro.viz.charts import bar_chart, box_plot, line_chart
+from repro.viz.figures import render_all_figures, render_figure
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["SvgCanvas", "box_plot", "line_chart", "bar_chart",
+           "render_figure", "render_all_figures"]

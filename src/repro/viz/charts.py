@@ -1,0 +1,238 @@
+"""Chart primitives: box plots, line charts, grouped bars.
+
+These mirror the paper's R plots: log-scale box plots with outlier
+dots (Figs 2-4, 9), log-log line charts with per-series markers
+(Figs 5-6), and grouped bar panels (Figs 4-right, 8).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analysis import BoxStats
+from repro.viz.svg import SvgCanvas, log_ticks, nice_ticks
+
+__all__ = ["box_plot", "line_chart", "bar_chart", "SERIES_COLORS"]
+
+#: Color cycle (stable mapping of system -> color across all figures).
+SERIES_COLORS = ("#1b6ca8", "#c23b22", "#2c8a4b", "#8a5ac2", "#c2852c",
+                 "#4bb4c2")
+
+_MARGIN = dict(left=70.0, right=20.0, top=40.0, bottom=55.0)
+
+
+class _Scale:
+    """Data -> pixel mapping, linear or log10."""
+
+    def __init__(self, lo: float, hi: float, px_lo: float, px_hi: float,
+                 log: bool = False):
+        if log and (lo <= 0 or hi <= 0):
+            raise ValueError("log scale needs positive data")
+        if hi <= lo:
+            hi = lo * 1.01 + 1e-12 if log else lo + 1.0
+        self.lo, self.hi, self.log = lo, hi, log
+        self.px_lo, self.px_hi = px_lo, px_hi
+
+    def __call__(self, v: float) -> float:
+        if self.log:
+            f = (math.log10(v) - math.log10(self.lo)) / (
+                math.log10(self.hi) - math.log10(self.lo))
+        else:
+            f = (v - self.lo) / (self.hi - self.lo)
+        return self.px_lo + f * (self.px_hi - self.px_lo)
+
+    def ticks(self) -> list[float]:
+        return (log_ticks(self.lo, self.hi) if self.log
+                else nice_ticks(self.lo, self.hi))
+
+
+def _tick_label(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.0e}"
+    return f"{v:g}"
+
+
+def _frame(canvas: SvgCanvas, title: str, x0, y0, x1, y1) -> None:
+    canvas.text(canvas.width / 2, 22, title, size=14, anchor="middle")
+    canvas.rect(x0, y0, x1 - x0, y1 - y0, fill="none",
+                stroke="#444444")
+
+
+def box_plot(boxes: dict[str, BoxStats], title: str,
+             y_label: str = "Time (seconds)", log_y: bool = True,
+             width: float = 520.0, height: float = 360.0,
+             baseline: float | None = None,
+             baseline_label: str = "sleep") -> SvgCanvas:
+    """Paper-style box plot: one box per group, log y-axis, whiskers to
+    min/max, optional horizontal baseline (Fig 9's sleep line)."""
+    if not boxes:
+        raise ValueError("nothing to plot")
+    canvas = SvgCanvas(width, height)
+    x0, y0 = _MARGIN["left"], _MARGIN["top"]
+    x1, y1 = width - _MARGIN["right"], height - _MARGIN["bottom"]
+    _frame(canvas, title, x0, y0, x1, y1)
+
+    values = [v for b in boxes.values()
+              for v in (b.minimum, b.maximum)]
+    if baseline is not None:
+        values.append(baseline)
+    lo, hi = min(values), max(values)
+    if log_y:
+        lo = max(lo, 1e-12)
+    pad = 1.25 if log_y else 0.08 * (hi - lo or 1.0)
+    scale = _Scale(lo / pad if log_y else lo - pad,
+                   hi * pad if log_y else hi + pad,
+                   y1, y0, log=log_y)
+
+    for t in scale.ticks():
+        py = scale(t)
+        canvas.line(x0, py, x1, py, stroke="#dddddd")
+        canvas.text(x0 - 6, py + 4, _tick_label(t), size=10,
+                    anchor="end")
+    canvas.text(16, (y0 + y1) / 2, y_label, size=12, anchor="middle",
+                rotate=-90)
+
+    groups = sorted(boxes)
+    slot = (x1 - x0) / len(groups)
+    bw = min(slot * 0.5, 60.0)
+    for i, name in enumerate(groups):
+        b = boxes[name]
+        cx = x0 + slot * (i + 0.5)
+        color = SERIES_COLORS[i % len(SERIES_COLORS)]
+        # whiskers
+        canvas.line(cx, scale(b.minimum), cx, scale(b.q1),
+                    stroke="#555555")
+        canvas.line(cx, scale(b.q3), cx, scale(b.maximum),
+                    stroke="#555555")
+        for v in (b.minimum, b.maximum):
+            canvas.line(cx - bw / 4, scale(v), cx + bw / 4, scale(v),
+                        stroke="#555555")
+        # box
+        canvas.rect(cx - bw / 2, scale(b.q3), bw,
+                    abs(scale(b.q1) - scale(b.q3)), fill=color,
+                    stroke="#333333", opacity=0.75)
+        # median
+        canvas.line(cx - bw / 2, scale(b.median), cx + bw / 2,
+                    scale(b.median), stroke="black", stroke_width=2.0)
+        # single-point groups (the Graph500) get a dot
+        if b.n == 1:
+            canvas.circle(cx, scale(b.median), 3.5, fill="black")
+        canvas.text(cx, y1 + 18, name, size=11, anchor="middle")
+        canvas.text(cx, y1 + 32, f"n={b.n}", size=9, anchor="middle",
+                    fill="#777777")
+
+    if baseline is not None:
+        py = scale(baseline)
+        canvas.line(x0, py, x1, py, stroke="#c23b22", dash="6,4")
+        canvas.text(x1 - 4, py - 5, baseline_label, size=10,
+                    anchor="end", fill="#c23b22")
+    return canvas
+
+
+def line_chart(xs: list[float], series: dict[str, list[float]],
+               title: str, x_label: str, y_label: str,
+               log_x: bool = False, log_y: bool = False,
+               ideal: list[float] | None = None,
+               width: float = 560.0, height: float = 380.0) -> SvgCanvas:
+    """Figs 5-6: one polyline+markers per system, optional ideal line."""
+    if not series or not xs:
+        raise ValueError("nothing to plot")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    canvas = SvgCanvas(width, height)
+    x0, y0 = _MARGIN["left"], _MARGIN["top"]
+    x1, y1 = width - _MARGIN["right"] - 90, height - _MARGIN["bottom"]
+    _frame(canvas, title, x0, y0, x1, y1)
+
+    all_y = [v for ys in series.values() for v in ys]
+    if ideal is not None:
+        all_y += list(ideal)
+    sx = _Scale(min(xs), max(xs), x0, x1, log=log_x)
+    pad = 1.2 if log_y else 0.08 * (max(all_y) - min(all_y) or 1.0)
+    sy = _Scale((min(all_y) / pad) if log_y else min(all_y) - pad,
+                (max(all_y) * pad) if log_y else max(all_y) + pad,
+                y1, y0, log=log_y)
+
+    for t in sy.ticks():
+        py = sy(t)
+        canvas.line(x0, py, x1, py, stroke="#dddddd")
+        canvas.text(x0 - 6, py + 4, _tick_label(t), size=10, anchor="end")
+    for t in (xs if log_x else sx.ticks()):
+        px = sx(t)
+        canvas.line(px, y1, px, y1 + 4, stroke="#444444")
+        canvas.text(px, y1 + 18, _tick_label(t), size=10,
+                    anchor="middle")
+    canvas.text((x0 + x1) / 2, height - 12, x_label, size=12,
+                anchor="middle")
+    canvas.text(16, (y0 + y1) / 2, y_label, size=12, anchor="middle",
+                rotate=-90)
+
+    if ideal is not None:
+        canvas.polyline([(sx(x), sy(y)) for x, y in zip(xs, ideal)],
+                        stroke="black", stroke_width=1.0)
+        canvas.text(sx(xs[-1]) - 4, sy(ideal[-1]) - 6, "ideal", size=10,
+                    anchor="end")
+
+    legend_y = y0 + 10
+    for i, (name, ys) in enumerate(sorted(series.items())):
+        color = SERIES_COLORS[i % len(SERIES_COLORS)]
+        pts = [(sx(x), sy(y)) for x, y in zip(xs, ys)]
+        canvas.polyline(pts, stroke=color)
+        for px, py in pts:
+            canvas.circle(px, py, 2.5, fill=color)
+        canvas.line(x1 + 10, legend_y, x1 + 30, legend_y, stroke=color,
+                    stroke_width=2.0)
+        canvas.text(x1 + 35, legend_y + 4, name, size=11)
+        legend_y += 18
+    return canvas
+
+
+def bar_chart(groups: list[str], series: dict[str, list[float]],
+              title: str, y_label: str,
+              width: float = 560.0, height: float = 360.0) -> SvgCanvas:
+    """Grouped bars (Fig 4 right / Fig 8): one bar cluster per group,
+    one colored bar per series; missing cells (None) are skipped."""
+    if not groups or not series:
+        raise ValueError("nothing to plot")
+    canvas = SvgCanvas(width, height)
+    x0, y0 = _MARGIN["left"], _MARGIN["top"]
+    x1, y1 = width - _MARGIN["right"] - 90, height - _MARGIN["bottom"]
+    _frame(canvas, title, x0, y0, x1, y1)
+
+    values = [v for ys in series.values() for v in ys if v is not None]
+    hi = max(values) if values else 1.0
+    sy = _Scale(0.0, hi * 1.1, y1, y0)
+    for t in sy.ticks():
+        py = sy(t)
+        canvas.line(x0, py, x1, py, stroke="#dddddd")
+        canvas.text(x0 - 6, py + 4, _tick_label(t), size=10, anchor="end")
+    canvas.text(16, (y0 + y1) / 2, y_label, size=12, anchor="middle",
+                rotate=-90)
+
+    names = sorted(series)
+    slot = (x1 - x0) / len(groups)
+    bar_w = min(slot * 0.8 / max(len(names), 1), 40.0)
+    for gi, group in enumerate(groups):
+        base = x0 + slot * gi + (slot - bar_w * len(names)) / 2
+        for si, name in enumerate(names):
+            v = series[name][gi]
+            if v is None:
+                continue
+            color = SERIES_COLORS[si % len(SERIES_COLORS)]
+            px = base + si * bar_w
+            canvas.rect(px, sy(v), bar_w * 0.92, y1 - sy(v),
+                        fill=color, stroke="#333333", opacity=0.85)
+        canvas.text(x0 + slot * (gi + 0.5), y1 + 18, group, size=11,
+                    anchor="middle")
+
+    legend_y = y0 + 10
+    for si, name in enumerate(names):
+        color = SERIES_COLORS[si % len(SERIES_COLORS)]
+        canvas.rect(x1 + 10, legend_y - 8, 14, 10, fill=color,
+                    stroke="#333333")
+        canvas.text(x1 + 30, legend_y, name, size=11)
+        legend_y += 18
+    return canvas

@@ -1,0 +1,161 @@
+"""Minimal SVG document builder.
+
+Just enough vector drawing for the paper's figures: rectangles, lines,
+polylines, circles, and text, with proper XML escaping and a fluent
+canvas that tracks its own size.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["SvgCanvas", "nice_ticks", "log_ticks"]
+
+
+class SvgCanvas:
+    """An SVG document accumulated as a list of elements."""
+
+    def __init__(self, width: float, height: float,
+                 background: str = "white"):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = float(width)
+        self.height = float(height)
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fmt(v: float) -> str:
+        return f"{v:.2f}".rstrip("0").rstrip(".")
+
+    def _attrs(self, **kwargs) -> str:
+        parts = []
+        for key, value in kwargs.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            parts.append(f"{name}={quoteattr(str(value))}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str = "none", stroke: str = "black",
+             stroke_width: float = 1.0, opacity: float | None = None
+             ) -> "SvgCanvas":
+        self._elements.append(
+            f"<rect x={quoteattr(self._fmt(x))} y={quoteattr(self._fmt(y))} "
+            f"width={quoteattr(self._fmt(max(w, 0)))} "
+            f"height={quoteattr(self._fmt(max(h, 0)))} "
+            + self._attrs(fill=fill, stroke=stroke,
+                          stroke_width=stroke_width, opacity=opacity)
+            + "/>")
+        return self
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "black", stroke_width: float = 1.0,
+             dash: str | None = None) -> "SvgCanvas":
+        self._elements.append(
+            f"<line x1={quoteattr(self._fmt(x1))} "
+            f"y1={quoteattr(self._fmt(y1))} "
+            f"x2={quoteattr(self._fmt(x2))} "
+            f"y2={quoteattr(self._fmt(y2))} "
+            + self._attrs(stroke=stroke, stroke_width=stroke_width,
+                          stroke_dasharray=dash)
+            + "/>")
+        return self
+
+    def polyline(self, points: list[tuple[float, float]],
+                 stroke: str = "black", stroke_width: float = 1.5
+                 ) -> "SvgCanvas":
+        pts = " ".join(f"{self._fmt(x)},{self._fmt(y)}"
+                       for x, y in points)
+        self._elements.append(
+            f"<polyline points={quoteattr(pts)} fill=\"none\" "
+            + self._attrs(stroke=stroke, stroke_width=stroke_width)
+            + "/>")
+        return self
+
+    def circle(self, cx: float, cy: float, r: float,
+               fill: str = "black", stroke: str = "none") -> "SvgCanvas":
+        self._elements.append(
+            f"<circle cx={quoteattr(self._fmt(cx))} "
+            f"cy={quoteattr(self._fmt(cy))} r={quoteattr(self._fmt(r))} "
+            + self._attrs(fill=fill, stroke=stroke) + "/>")
+        return self
+
+    def text(self, x: float, y: float, content: str,
+             size: float = 12.0, anchor: str = "start",
+             fill: str = "black", rotate: float | None = None,
+             family: str = "sans-serif") -> "SvgCanvas":
+        transform = None
+        if rotate is not None:
+            transform = (f"rotate({self._fmt(rotate)} "
+                         f"{self._fmt(x)} {self._fmt(y)})")
+        self._elements.append(
+            f"<text x={quoteattr(self._fmt(x))} "
+            f"y={quoteattr(self._fmt(y))} "
+            + self._attrs(font_size=self._fmt(size), text_anchor=anchor,
+                          fill=fill, font_family=family,
+                          transform=transform)
+            + f">{escape(content)}</text>")
+        return self
+
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self._fmt(self.width)}" '
+            f'height="{self._fmt(self.height)}" '
+            f'viewBox="0 0 {self._fmt(self.width)} '
+            f'{self._fmt(self.height)}">\n  '
+            + body + "\n</svg>\n")
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string(), encoding="utf-8")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Tick helpers
+# ----------------------------------------------------------------------
+def nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi] (linear axes)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(target, 1)
+    mag = 10.0 ** math.floor(math.log10(raw_step))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * mag
+        if step >= raw_step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * step:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks
+
+
+def log_ticks(lo: float, hi: float) -> list[float]:
+    """Decade ticks covering [lo, hi] (log axes, positive values)."""
+    if lo <= 0 or hi <= 0:
+        raise ValueError("log axes need positive bounds")
+    ticks = []
+    e = math.floor(math.log10(lo))
+    while 10.0 ** e <= hi * (1 + 1e-12):
+        t = 10.0 ** e
+        if t >= lo * (1 - 1e-12):
+            ticks.append(t)
+        e += 1
+    if not ticks:
+        ticks = [lo, hi]
+    return ticks

@@ -1,0 +1,78 @@
+"""Tests for community detection by label propagation."""
+
+import numpy as np
+
+from repro.algorithms.cdlp import cdlp, propagate_labels_once
+from repro.graph.csr import CSRGraph
+
+
+def _csr(src, dst, n):
+    return CSRGraph.from_arrays(np.asarray(src), np.asarray(dst), n)
+
+
+def test_one_round_mode():
+    """Vertex 3 hears labels {0, 0, 1}: mode is 0."""
+    csr = _csr([0, 1, 2, 0], [3, 3, 3, 1], 4)
+    labels = np.array([0, 0, 1, 3], dtype=np.int64)
+    out = propagate_labels_once(csr.source_ids(), csr.col_idx, labels, 4)
+    assert out[3] == 0
+
+
+def test_tie_breaks_to_smallest():
+    """Labels {7, 2} tie at one each: 2 wins."""
+    csr = _csr([0, 1], [2, 2], 3)
+    labels = np.array([7, 2, 9], dtype=np.int64)
+    out = propagate_labels_once(csr.source_ids(), csr.col_idx, labels, 3)
+    assert out[2] == 2
+
+
+def test_isolated_vertex_keeps_label():
+    csr = _csr([0], [1], 3)
+    labels = np.arange(3, dtype=np.int64)
+    out = propagate_labels_once(csr.source_ids(), csr.col_idx, labels, 3)
+    assert out[2] == 2
+
+
+def test_clique_converges_to_min_id():
+    n = 6
+    src, dst = [], []
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                src.append(i)
+                dst.append(j)
+    csr = _csr(src, dst, n)
+    labels = cdlp(csr, iterations=5)
+    assert np.all(labels == 0)
+
+
+def test_two_cliques_separate():
+    src, dst = [], []
+    for block in (range(0, 4), range(4, 8)):
+        for i in block:
+            for j in block:
+                if i != j:
+                    src.append(i)
+                    dst.append(j)
+    csr = _csr(src, dst, 8)
+    labels = cdlp(csr, iterations=5)
+    assert np.all(labels[:4] == 0)
+    assert np.all(labels[4:] == 4)
+
+
+def test_deterministic(kron10_csr):
+    a = cdlp(kron10_csr, 6)
+    b = cdlp(kron10_csr, 6)
+    assert np.array_equal(a, b)
+
+
+def test_zero_iterations_identity(kron10_csr):
+    labels = cdlp(kron10_csr, 0)
+    assert np.array_equal(labels, np.arange(kron10_csr.n_vertices))
+
+
+def test_empty_graph():
+    csr = CSRGraph(row_ptr=np.zeros(4, dtype=np.int64),
+                   col_idx=np.array([], dtype=np.int64))
+    labels = cdlp(csr, 3)
+    assert np.array_equal(labels, np.arange(3))

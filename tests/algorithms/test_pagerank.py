@@ -1,0 +1,77 @@
+"""Reference PageRank vs. networkx and stochastic invariants."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.graph.csr import CSRGraph
+
+
+def test_sums_to_one(kron10_csr):
+    rank, _ = pagerank(kron10_csr)
+    assert rank.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(rank > 0)
+
+
+def test_matches_networkx_on_simple_graph():
+    """Compare on a dedup'd graph (networkx collapses multi-edges)."""
+    rng = np.random.default_rng(0)
+    n, m = 64, 300
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    key = src * n + dst
+    _, keep = np.unique(key, return_index=True)
+    csr = CSRGraph.from_arrays(src[keep], dst[keep], n)
+    rank, _ = pagerank(csr, epsilon=1e-12)
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(zip(src[keep].tolist(), dst[keep].tolist()))
+    want = nx.pagerank(g, alpha=0.85, tol=1e-14, max_iter=1000)
+    ref = np.array([want[i] for i in range(n)])
+    assert np.abs(rank - ref).sum() < 1e-8
+
+
+def test_dangling_mass_conserved():
+    """A sink vertex must not leak rank."""
+    csr = CSRGraph.from_arrays(np.array([0, 1]), np.array([1, 2]), 3)
+    rank, _ = pagerank(csr)
+    assert rank.sum() == pytest.approx(1.0, abs=1e-9)
+    assert rank[2] > rank[0]  # sink accumulates
+
+
+def test_uniform_on_cycle():
+    n = 8
+    src = np.arange(n)
+    dst = (src + 1) % n
+    csr = CSRGraph.from_arrays(src, dst, n)
+    rank, _ = pagerank(csr)
+    assert np.allclose(rank, 1.0 / n, atol=1e-9)
+
+
+def test_epsilon_controls_iterations(kron10_csr):
+    _, it_loose = pagerank(kron10_csr, epsilon=1e-3)
+    _, it_tight = pagerank(kron10_csr, epsilon=1e-10)
+    assert it_tight > it_loose
+
+
+def test_max_iterations_cap(kron10_csr):
+    rank, it = pagerank(kron10_csr, epsilon=1e-300, max_iterations=5)
+    assert it == 5
+
+
+def test_empty_graph():
+    rank, it = pagerank(CSRGraph(row_ptr=np.array([0]),
+                                 col_idx=np.array([], dtype=np.int64)))
+    assert rank.size == 0
+    assert it == 0
+
+
+def test_higher_in_degree_higher_rank():
+    """A hub with many in-links outranks leaves."""
+    src = np.array([1, 2, 3, 4, 0])
+    dst = np.array([0, 0, 0, 0, 1])
+    csr = CSRGraph.from_arrays(src, dst, 5)
+    rank, _ = pagerank(csr)
+    assert rank[0] == rank.max()

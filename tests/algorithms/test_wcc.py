@@ -1,0 +1,51 @@
+"""Reference WCC vs. networkx."""
+
+import networkx as nx
+import numpy as np
+
+from repro.algorithms.wcc import (
+    canonical_component_labels,
+    weakly_connected_components,
+)
+from repro.graph.csr import CSRGraph
+
+
+def test_two_components():
+    csr = CSRGraph.from_arrays(np.array([0, 2]), np.array([1, 3]), 5)
+    labels = weakly_connected_components(csr)
+    assert labels.tolist() == [0, 0, 2, 2, 4]
+
+
+def test_direction_ignored():
+    """Weak connectivity: a->b joins them regardless of direction."""
+    csr = CSRGraph.from_arrays(np.array([1]), np.array([0]), 2)
+    labels = weakly_connected_components(csr)
+    assert labels.tolist() == [0, 0]
+
+
+def test_matches_networkx(patents_small):
+    csr = CSRGraph.from_edge_list(patents_small)
+    labels = weakly_connected_components(csr)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(csr.n_vertices))
+    src = csr.source_ids()
+    g.add_edges_from(zip(src.tolist(), csr.col_idx.tolist()))
+    for comp in nx.weakly_connected_components(g):
+        comp = sorted(comp)
+        assert np.all(labels[comp] == comp[0])
+
+
+def test_canonical_labels_idempotent(kron10_csr):
+    labels = weakly_connected_components(kron10_csr)
+    assert np.array_equal(canonical_component_labels(labels), labels)
+
+
+def test_canonical_relabeling():
+    raw = np.array([5, 5, 2, 2, 5])
+    got = canonical_component_labels(raw)
+    assert got.tolist() == [0, 0, 2, 2, 0]
+
+
+def test_empty():
+    got = canonical_component_labels(np.array([], dtype=np.int64))
+    assert got.size == 0

@@ -1,0 +1,123 @@
+"""Unit tests for the analysis layer (BoxStats, scalability, energy)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import Analysis, BoxStats, EfficiencyTable, summarize
+from repro.core.records import Record
+from repro.errors import ConfigError
+
+
+def _rec(system="gap", algorithm="bfs", dataset="d", threads=32,
+         metric="time", value=1.0, root=0, trial=0):
+    return Record(system=system, algorithm=algorithm, dataset=dataset,
+                  threads=threads, metric=metric, value=value, root=root,
+                  trial=trial)
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        b = BoxStats.from_values([1, 2, 3, 4, 100])
+        assert b.minimum == 1
+        assert b.median == 3
+        assert b.maximum == 100
+        assert b.n == 5
+
+    def test_single_value(self):
+        b = BoxStats.from_values([5.0])
+        assert b.std == 0.0
+        assert b.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            BoxStats.from_values([])
+
+    def test_rsd(self):
+        b = BoxStats.from_values([1.0, 1.0, 1.0])
+        assert b.rsd == 0.0
+        z = BoxStats.from_values([0.0, 0.0])
+        assert math.isinf(z.rsd)
+
+
+class TestSummarize:
+    def test_groups_by_cell(self):
+        recs = [_rec(value=1.0), _rec(value=2.0),
+                _rec(system="graphmat", value=9.0)]
+        box = summarize(recs)
+        assert box[("gap", "bfs", "d", 32)].n == 2
+        assert box[("graphmat", "bfs", "d", 32)].mean == 9.0
+
+    def test_filters_metric(self):
+        recs = [_rec(metric="time"), _rec(metric="build")]
+        assert len(summarize(recs, "build")) == 1
+
+
+class TestEfficiency:
+    def test_speedup_and_efficiency(self):
+        t = EfficiencyTable(system="gap", algorithm="bfs",
+                            threads=[1, 2, 4], mean_times=[8.0, 4.0, 4.0])
+        assert t.speedup() == [1.0, 2.0, 2.0]
+        assert t.efficiency() == [1.0, 1.0, 0.5]
+
+    def test_requires_serial_point(self):
+        t = EfficiencyTable(system="gap", algorithm="bfs",
+                            threads=[2, 4], mean_times=[4.0, 2.0])
+        with pytest.raises(ConfigError):
+            t.speedup()
+
+    def test_dip_below_one_representable(self):
+        """The Graph500 Fig 6 artifact: speedup(2) < 1."""
+        t = EfficiencyTable(system="graph500", algorithm="bfs",
+                            threads=[1, 2], mean_times=[1.0, 1.2])
+        assert t.speedup()[1] < 1.0
+
+
+class TestAnalysis:
+    def test_mean_time_filtering(self):
+        recs = [_rec(value=1.0, threads=1), _rec(value=0.5, threads=2)]
+        a = Analysis(recs)
+        assert a.mean_time("gap", "bfs", threads=1) == 1.0
+        assert a.mean_time("gap", "bfs") == 0.75
+
+    def test_mean_time_missing_raises(self):
+        a = Analysis([_rec()])
+        with pytest.raises(ConfigError):
+            a.mean_time("graphmat", "bfs")
+
+    def test_scalability_path(self):
+        recs = [_rec(value=v, threads=n)
+                for n, v in ((1, 8.0), (2, 4.4), (4, 2.6))]
+        tab = Analysis(recs).scalability("gap", "bfs")
+        assert tab.threads == [1, 2, 4]
+        assert tab.speedup()[0] == 1.0
+
+    def test_energy_table_averages_per_root(self):
+        recs = []
+        for root in range(4):
+            recs.append(_rec(metric="time", value=0.01636, root=root))
+            recs.append(_rec(metric="pkg_joules", value=1.184, root=root))
+            recs.append(_rec(metric="dram_joules", value=0.27, root=root))
+        table = Analysis(recs).energy_table("bfs")
+        rep = table["gap"]
+        assert rep.avg_pkg_watts == pytest.approx(72.37, rel=1e-3)
+        assert rep.increase_over_sleep == pytest.approx(2.926, rel=1e-2)
+
+    def test_energy_table_splits_single_window(self):
+        """Graph500-style: one energy reading across N searches is
+        divided per root."""
+        recs = [_rec(system="graph500", metric="time", value=0.02,
+                     root=r) for r in range(4)]
+        recs.append(_rec(system="graph500", metric="pkg_joules",
+                         value=8.0, root=-1))
+        table = Analysis(recs).energy_table("bfs")
+        assert table["graph500"].pkg_energy_j == pytest.approx(2.0)
+
+    def test_enumerations(self):
+        recs = [_rec(), _rec(system="graphmat", algorithm="sssp",
+                             threads=64)]
+        a = Analysis(recs)
+        assert a.systems() == ["gap", "graphmat"]
+        assert a.algorithms() == ["bfs", "sssp"]
+        assert a.thread_counts() == [32, 64]

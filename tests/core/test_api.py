@@ -1,0 +1,53 @@
+"""Tests for the one-call convenience API and projection helpers."""
+
+import pytest
+
+from repro.core import run_comparison
+from repro.core.projection import (
+    PAPER_SCALING_SCALE,
+    projected_scalability,
+    projected_time,
+)
+from repro.errors import ConfigError
+
+
+def test_run_comparison_end_to_end(tmp_path):
+    exp, analysis = run_comparison(
+        tmp_path, scale=8, n_roots=2,
+        systems=("gap", "graphmat"), algorithms=("bfs",))
+    assert (tmp_path / "results.csv").exists()
+    box = analysis.box("time")
+    assert ("gap", "bfs", "kron-scale8", 32) in box
+    assert ("graphmat", "bfs", "kron-scale8", 32) in box
+
+
+def test_run_comparison_threads(tmp_path):
+    _, analysis = run_comparison(
+        tmp_path, scale=8, n_roots=2, systems=("gap",),
+        algorithms=("bfs",), thread_counts=(1, 4))
+    assert analysis.thread_counts() == [1, 4]
+
+
+class TestProjection:
+    def test_paper_scale_constant(self):
+        assert PAPER_SCALING_SCALE == 23
+
+    def test_projected_time_matches_anchor_at_scale22(self):
+        """Projection at scale 22 / 32 threads must land on Table III."""
+        got = projected_time("gap", "bfs", 22, 32)
+        # anchor + startup
+        assert got == pytest.approx(0.01636 + 2e-5, rel=0.03)
+
+    def test_projection_doubles_with_scale(self):
+        t22 = projected_time("graphmat", "bfs", 22, 32)
+        t23 = projected_time("graphmat", "bfs", 23, 32)
+        assert t23 == pytest.approx(2 * t22, rel=0.02)
+
+    def test_unknown_anchor(self):
+        with pytest.raises(ConfigError):
+            projected_time("graph500", "pagerank", 22, 32)
+
+    def test_scalability_table_shape(self):
+        tab = projected_scalability("gap", thread_counts=(1, 2, 32))
+        assert tab.threads == [1, 2, 32]
+        assert tab.speedup()[0] == 1.0

@@ -1,0 +1,161 @@
+"""Integration tests of the five-phase pipeline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def small_experiment(tmp_path_factory):
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp("exp"),
+        dataset="kronecker", scale=9, n_roots=4,
+        algorithms=("bfs", "sssp", "pagerank"))
+    exp = Experiment(cfg)
+    analysis = exp.run_all()
+    return exp, analysis
+
+
+class TestPhases:
+    def test_setup_writes_config(self, small_experiment):
+        exp, _ = small_experiment
+        cfg_file = exp.config.output_dir / "config.json"
+        assert cfg_file.exists()
+        assert json.loads(cfg_file.read_text())["scale"] == 9
+
+    def test_setup_rejects_missing_system(self, tmp_path):
+        cfg = ExperimentConfig(output_dir=tmp_path)
+        object.__setattr__(cfg, "systems", ("gap", "notinstalled"))
+        with pytest.raises(ConfigError):
+            Experiment(cfg).setup()
+
+    def test_homogenize_produces_dataset(self, small_experiment):
+        exp, _ = small_experiment
+        assert exp.dataset is not None
+        assert exp.dataset.n_vertices == 512
+        assert exp.dataset.roots.size == 4
+
+    def test_run_writes_expected_logs(self, small_experiment):
+        exp, _ = small_experiment
+        logs = sorted(p.relative_to(exp.config.output_dir).as_posix()
+                      for p in exp.config.output_dir.rglob("*.log"))
+        # Graph500 only BFS; PowerGraph no BFS; others all three.
+        assert "logs/gap/bfs-t32.log" in logs
+        assert "logs/graph500/bfs-t32.log" in logs
+        assert "logs/graph500/sssp-t32.log" not in logs
+        assert "logs/powergraph/bfs-t32.log" not in logs
+        assert "logs/powergraph/sssp-t32.log" in logs
+        assert len(logs) == 3 + 1 + 3 + 3 + 2
+
+    def test_parse_writes_csv(self, small_experiment):
+        exp, _ = small_experiment
+        csv = exp.config.output_dir / "results.csv"
+        assert csv.exists()
+        rows = csv.read_text().splitlines()
+        assert rows[0].startswith("system,algorithm")
+        assert len(rows) > 50
+
+    def test_csv_reload_matches_records(self, small_experiment):
+        exp, _ = small_experiment
+        loaded = Experiment.load_csv(exp.config.output_dir / "results.csv")
+        assert loaded == exp.records
+
+    def test_load_csv_rejects_garbage(self, tmp_path):
+        p = tmp_path / "x.csv"
+        p.write_text("not,a,results,file\n")
+        with pytest.raises(ConfigError):
+            Experiment.load_csv(p)
+
+    def test_analyze_before_parse_raises(self, tmp_path):
+        cfg = ExperimentConfig(output_dir=tmp_path)
+        with pytest.raises(ConfigError):
+            Experiment(cfg).analyze()
+
+
+class TestMeasurements:
+    def test_32_points_per_box(self, small_experiment):
+        """n_roots runs per (system, algo) cell: the box-plot points."""
+        _, analysis = small_experiment
+        box = analysis.box("time")
+        assert box[("gap", "bfs", "kron-scale9", 32)].n == 4
+        assert box[("graphmat", "pagerank", "kron-scale9", 32)].n == 4
+
+    def test_graph500_constructs_once(self, small_experiment):
+        """Fig 2: 'The Graph500 only constructs its graph once.'"""
+        _, analysis = small_experiment
+        builds = analysis.construction_box("bfs")
+        assert builds[("graph500", "bfs")].n == 1
+        assert builds[("gap", "bfs")].n == 4
+
+    def test_fused_systems_have_no_build_records(self, small_experiment):
+        _, analysis = small_experiment
+        builds = analysis.construction_box()
+        assert not any(k[0] in ("graphbig", "powergraph") for k in builds)
+
+    def test_power_records_present(self, small_experiment):
+        _, analysis = small_experiment
+        power = analysis.power_box("pkg_watts", "bfs")
+        assert set(power) == {"gap", "graph500", "graphbig", "graphmat"}
+        # Fig 9: single Graph500 power point.
+        assert power["graph500"].n == 1
+        assert power["gap"].n == 4
+
+    def test_iterations_recorded_for_pagerank(self, small_experiment):
+        _, analysis = small_experiment
+        iters = analysis.iterations("pagerank")
+        assert set(iters) == {"gap", "graphbig", "graphmat", "powergraph"}
+
+    def test_deterministic_rerun(self, tmp_path_factory):
+        """Same seed -> identical CSV (the repeatability the paper's
+        abstract promises)."""
+        def run(d):
+            cfg = ExperimentConfig(output_dir=d, scale=8, n_roots=2,
+                                   algorithms=("bfs",),
+                                   systems=("gap", "graph500"))
+            exp = Experiment(cfg)
+            exp.run_all()
+            return (d / "results.csv").read_text()
+
+        a = run(tmp_path_factory.mktemp("a"))
+        b = run(tmp_path_factory.mktemp("b"))
+        assert a == b
+
+
+def test_pipeline_logging(tmp_path, caplog):
+    import logging
+
+    cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                           systems=("gap",), algorithms=("bfs",))
+    with caplog.at_level(logging.INFO, logger="repro.pipeline"):
+        Experiment(cfg).run_all()
+    text = caplog.text
+    assert "homogenize: starting" in text
+    assert "ran gap/bfs" in text
+    assert "run: done" in text
+
+
+def test_all_eight_algorithms_through_pipeline(tmp_path):
+    """The full algorithm surface -- the paper's three, the three
+    Graphalytics extras, and the two Sec. V extension kernels -- runs
+    through the five phases; capability holes produce skips, not
+    errors."""
+    cfg = ExperimentConfig(
+        output_dir=tmp_path, scale=8, n_roots=2,
+        algorithms=("bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc",
+                    "bc", "tc"))
+    analysis = Experiment(cfg).run_all()
+    algos_by_system = {}
+    for (system, algo, _, _) in analysis.box("time"):
+        algos_by_system.setdefault(system, set()).add(algo)
+    assert algos_by_system["gap"] == {
+        "bfs", "sssp", "pagerank", "wcc", "bc", "tc"}
+    assert algos_by_system["graph500"] == {"bfs"}
+    assert algos_by_system["graphbig"] == {
+        "bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc"}
+    assert algos_by_system["powergraph"] == {
+        "sssp", "pagerank", "wcc", "cdlp", "lcc"}

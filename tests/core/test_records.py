@@ -1,0 +1,43 @@
+"""Tests for the canonical Record type and its CSV codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import METRICS, Record
+from repro.errors import LogParseError
+
+
+def test_csv_roundtrip():
+    r = Record(system="gap", algorithm="bfs", dataset="kron-scale14",
+               threads=32, metric="time", value=0.01636, root=5, trial=2)
+    back = Record.from_csv_row(r.to_csv_row())
+    assert back == r
+
+
+def test_header_matches_row_arity():
+    assert len(Record.csv_header().split(",")) == 8
+
+
+def test_bad_row_rejected():
+    with pytest.raises(LogParseError):
+        Record.from_csv_row("a,b,c")
+
+
+def test_metrics_registry_contains_paper_quantities():
+    for m in ("time", "build", "read", "load", "iterations",
+              "pkg_watts", "dram_watts"):
+        assert m in METRICS
+
+
+@given(value=st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e300, max_value=1e300),
+       root=st.integers(-1, 10**6), trial=st.integers(0, 10**4),
+       threads=st.integers(1, 72))
+@settings(max_examples=100, deadline=None)
+def test_csv_roundtrip_property(value, root, trial, threads):
+    r = Record(system="graphmat", algorithm="pagerank", dataset="d",
+               threads=threads, metric="time", value=value, root=root,
+               trial=trial)
+    back = Record.from_csv_row(r.to_csv_row())
+    assert back == r  # repr() float round-trips exactly

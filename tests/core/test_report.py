@@ -1,0 +1,82 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.core.analysis import Analysis, BoxStats
+from repro.core.records import Record
+from repro.core.report import (
+    ascii_box,
+    figure_series,
+    format_box_table,
+    format_series,
+    format_table,
+)
+
+
+def _rec(**kw):
+    base = dict(system="gap", algorithm="bfs", dataset="d", threads=32,
+                metric="time", value=1.0, root=0, trial=0)
+    base.update(kw)
+    return Record(**base)
+
+
+def test_format_table_alignment():
+    out = format_table("T", ["a", "b"], {"row1": ["1", "2"],
+                                         "longer-row": ["3", "4"]})
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "row1" in out and "longer-row" in out
+
+
+def test_ascii_box_markers():
+    b = BoxStats.from_values([0, 25, 50, 75, 100])
+    s = ascii_box(b, width=21)
+    assert s[10] == "|"       # median centered
+    assert "=" in s and "-" in s
+
+
+def test_format_box_table_handles_empty():
+    assert "(no data)" in format_box_table("X", {})
+
+
+def test_format_series_csv_block():
+    out = format_series("Fig", "threads", [1, 2],
+                        {"gap": [1.0, 1.9], "graphmat": [1.0, 1.7]})
+    lines = out.splitlines()
+    assert lines[0] == "# Fig"
+    assert lines[1] == "threads,gap,graphmat"
+    assert lines[2] == "1,1,1"
+
+
+@pytest.fixture
+def scal_analysis():
+    recs = []
+    for system, base in (("gap", 8.0), ("graph500", 9.0)):
+        for n, factor in ((1, 1.0), (2, 0.6), (4, 0.35)):
+            recs.append(_rec(system=system, threads=n,
+                             value=base * factor))
+    return Analysis(recs)
+
+
+def test_fig5_series(scal_analysis):
+    out = figure_series(scal_analysis, "fig5")
+    assert "Fig 5" in out
+    assert "threads,gap,graph500" in out
+
+
+def test_fig6_efficiency_bounded(scal_analysis):
+    out = figure_series(scal_analysis, "fig6")
+    last = out.splitlines()[-1].split(",")
+    assert float(last[1]) <= 1.0
+
+
+def test_unknown_figure():
+    with pytest.raises(ValueError):
+        figure_series(Analysis([_rec()]), "fig99")
+
+
+def test_fig8_marks_missing_cells():
+    """PowerGraph has no BFS: its Fig 8 BFS cell must read N/A."""
+    recs = [_rec(), _rec(system="powergraph", algorithm="sssp")]
+    out = figure_series(Analysis(recs), "fig8")
+    assert "N/A" in out

@@ -1,0 +1,179 @@
+"""Unit tests for the run-phase executor."""
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.logs import parse_log
+from repro.core.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    cfg = ExperimentConfig(output_dir=tmp_path_factory.mktemp("run"),
+                           scale=9, n_roots=3)
+    exp = Experiment(cfg)
+    exp.setup()
+    dataset = exp.homogenize()
+    return Runner(cfg, dataset)
+
+
+def test_skips_unsupported_cells(runner):
+    assert runner.run_system_algorithm("powergraph", "bfs", 32) is None
+    assert runner.run_system_algorithm("graph500", "pagerank", 32) is None
+
+
+def test_graph500_skips_real_world(tmp_path):
+    from repro.datasets.homogenize import homogenize
+    from repro.datasets.realworld import dota_league
+
+    cfg = ExperimentConfig(output_dir=tmp_path, dataset="dota-league",
+                           n_roots=2)
+    dataset = homogenize(dota_league(1 / 512), tmp_path / "ds")
+    r = Runner(cfg, dataset)
+    assert r.run_system_algorithm("graph500", "bfs", 32) is None
+
+
+def test_log_path_layout(runner):
+    p = runner.log_path("gap", "bfs", 16)
+    assert p.as_posix().endswith("logs/gap/bfs-t16.log")
+
+
+def test_gap_log_has_all_roots(runner):
+    path = runner.run_system_algorithm("gap", "bfs", 32)
+    records = parse_log(path)
+    roots = {r.root for r in records if r.metric == "time"}
+    assert len(roots) == 3
+
+
+def test_graph500_single_power_window(runner):
+    path = runner.run_system_algorithm("graph500", "bfs", 32)
+    records = parse_log(path)
+    assert sum(1 for r in records if r.metric == "pkg_joules") == 1
+    assert sum(1 for r in records if r.metric == "time") == 3
+
+
+def test_pagerank_runs_n_roots_times(runner):
+    """'For PageRank, we simply run the algorithm 32 times' (here 3)."""
+    path = runner.run_system_algorithm("graphmat", "pagerank", 32)
+    records = parse_log(path)
+    assert sum(1 for r in records if r.metric == "time") == 3
+    # Rootless runs carry root=-1.
+    assert all(r.root == -1 for r in records if r.metric == "time")
+
+
+def test_power_disabled(tmp_path):
+    cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                           measure_power=False,
+                           systems=("gap",), algorithms=("bfs",))
+    exp = Experiment(cfg)
+    exp.setup()
+    dataset = exp.homogenize()
+    path = Runner(cfg, dataset).run_system_algorithm("gap", "bfs", 32)
+    records = parse_log(path)
+    assert not any("joule" in r.metric for r in records)
+
+
+def test_trial_jitter_varies_but_kernel_output_cached(runner):
+    """Multiple trials re-jitter the priced time without rerunning the
+    kernel; values must differ across trials of the same root."""
+    cfg = runner.config.with_(n_trials=3, n_roots=2)
+    r2 = Runner(cfg, runner.dataset)
+    path = r2.run_system_algorithm("gap", "sssp", 32)
+    records = parse_log(path)
+    by_root: dict[int, set] = {}
+    for rec in records:
+        if rec.metric == "time":
+            by_root.setdefault(rec.root, set()).add(rec.value)
+    for root, vals in by_root.items():
+        assert len(vals) == 3, f"trials of root {root} identical"
+
+
+def test_power_traces_captured(tmp_path):
+    """capture_power_traces writes one CSV per measured kernel window
+    whose energy matches the RAPL log record."""
+    import numpy as np
+
+    from repro.core.logs import parse_log
+
+    cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                           systems=("gap",), algorithms=("bfs",),
+                           capture_power_traces=True,
+                           trace_sample_hz=200_000.0)
+    exp = Experiment(cfg)
+    exp.setup()
+    dataset = exp.homogenize()
+    path = Runner(cfg, dataset).run_system_algorithm("gap", "bfs", 32)
+    traces = sorted((tmp_path / "traces").glob("gap-bfs-*.csv"))
+    assert len(traces) == 2
+    records = parse_log(path)
+    pkg_by_root = {r.root: r.value for r in records
+                   if r.metric == "pkg_joules"}
+    for trace_path in traces:
+        body = np.loadtxt(trace_path, delimiter=",", skiprows=1,
+                          ndmin=2)
+        root = int(trace_path.stem.split("-r")[1].split("-")[0])
+        dt = 1.0 / cfg.trace_sample_hz
+        trace_energy = body[:, 1].sum() * dt
+        assert trace_energy == pytest.approx(pkg_by_root[root],
+                                             rel=0.05)
+
+
+def test_traces_off_by_default(tmp_path):
+    cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                           systems=("gap",), algorithms=("bfs",))
+    exp = Experiment(cfg)
+    exp.setup()
+    dataset = exp.homogenize()
+    Runner(cfg, dataset).run_system_algorithm("gap", "bfs", 32)
+    assert not (tmp_path / "traces").exists()
+
+
+class TestOutputValidation:
+    def test_validation_passes_on_honest_systems(self, tmp_path):
+        cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                               systems=("gap", "graph500", "graphmat"),
+                               algorithms=("bfs", "sssp", "pagerank"),
+                               validate_outputs=True)
+        exp = Experiment(cfg)
+        exp.setup()
+        dataset = exp.homogenize()
+        r = Runner(cfg, dataset)
+        for sysname in cfg.systems:
+            for algo in cfg.algorithms:
+                r.run_system_algorithm(sysname, algo, 32)  # no raise
+
+    def test_validation_catches_cheating_system(self, tmp_path):
+        """A system returning garbage must be rejected during the run
+        phase (the Graph500 rule)."""
+        import numpy as np
+
+        from repro.errors import ValidationError
+        from repro.systems.gap import GapSystem
+        from repro.systems.registry import (
+            register_system,
+            unregister_system,
+        )
+
+        class CheatingGap(GapSystem):
+            name = "gap"  # masquerade in the registry lookup
+
+            def _run_sssp(self, loaded, root, **kw):
+                out, profile, it, counters = super()._run_sssp(
+                    loaded, root, **kw)
+                out["dist"] = np.zeros_like(out["dist"])  # garbage
+                return out, profile, it, counters
+
+        cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                               systems=("gap",), algorithms=("sssp",),
+                               validate_outputs=True)
+        exp = Experiment(cfg)
+        exp.setup()
+        dataset = exp.homogenize()
+        register_system("gap", CheatingGap, replace=True)
+        try:
+            with pytest.raises(ValidationError):
+                Runner(cfg, dataset).run_system_algorithm(
+                    "gap", "sssp", 32)
+        finally:
+            unregister_system("gap")  # built-ins re-register lazily

@@ -1,0 +1,141 @@
+"""Tests for the statistical comparison layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import Record
+from repro.core.stats import (
+    bootstrap_ci,
+    cliffs_delta,
+    compare_systems,
+    mann_whitney_u,
+)
+from repro.errors import ConfigError
+
+
+class TestBootstrap:
+    def test_ci_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(0, 0.3, 50)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo <= np.median(data) <= hi
+
+    def test_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(10, 1, 8)
+        big = rng.normal(10, 1, 512)
+        w_small = np.diff(bootstrap_ci(small, seed=2))[0]
+        w_big = np.diff(bootstrap_ci(big, seed=2))[0]
+        assert w_big < w_small
+
+    def test_deterministic(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        a = np.arange(20.0)
+        _, p = mann_whitney_u(a, a)
+        assert p > 0.9
+
+    def test_clearly_shifted_samples_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(5, 1, 30)
+        _, p = mann_whitney_u(a, b)
+        assert p < 1e-6
+
+    def test_matches_scipy(self):
+        from scipy.stats import mannwhitneyu
+
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 25)
+        b = rng.normal(0.8, 1, 28)
+        u, p = mann_whitney_u(a, b)
+        ref = mannwhitneyu(a, b, alternative="two-sided",
+                           method="asymptotic", use_continuity=False)
+        assert u == pytest.approx(ref.statistic)
+        assert p == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_tie_handling_matches_scipy(self):
+        from scipy.stats import mannwhitneyu
+
+        a = [1, 1, 2, 2, 3]
+        b = [2, 2, 3, 3, 4]
+        u, p = mann_whitney_u(a, b)
+        ref = mannwhitneyu(a, b, alternative="two-sided",
+                           method="asymptotic", use_continuity=False)
+        assert u == pytest.approx(ref.statistic)
+        assert p == pytest.approx(ref.pvalue, rel=1e-6)
+
+
+class TestCliffsDelta:
+    def test_disjoint_samples(self):
+        assert cliffs_delta([1, 2], [10, 20]) == -1.0
+        assert cliffs_delta([10, 20], [1, 2]) == 1.0
+
+    def test_identical(self):
+        assert cliffs_delta([5, 5], [5, 5]) == 0.0
+
+    @given(shift=st.floats(-5, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_sign_tracks_shift(self, shift):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0, 0.1, 40)
+        b = a + shift
+        d = cliffs_delta(a, b)
+        if shift > 0.5:
+            assert d < 0
+        elif shift < -0.5:
+            assert d > 0
+
+
+class TestCompareSystems:
+    def _records(self):
+        rng = np.random.default_rng(5)
+        recs = []
+        for i, t in enumerate(rng.normal(0.016, 0.001, 32)):
+            recs.append(Record("gap", "bfs", "d", 32, "time", t, i, 0))
+        for i, t in enumerate(rng.normal(1.6, 0.05, 32)):
+            recs.append(Record("graphbig", "bfs", "d", 32, "time", t,
+                               i, 0))
+        return recs
+
+    def test_clear_winner(self):
+        v = compare_systems(self._records(), "gap", "graphbig", "bfs")
+        assert v.significant
+        assert v.faster == "gap"
+        assert v.speedup > 50
+        assert v.delta == -1.0
+        assert "faster" in v.summary()
+
+    def test_self_comparison_inconclusive(self):
+        recs = self._records()
+        v = compare_systems(recs, "gap", "gap", "bfs")
+        assert not v.significant
+        assert v.faster is None
+        assert "inconclusive" in v.summary()
+
+    def test_missing_records(self):
+        with pytest.raises(ConfigError):
+            compare_systems(self._records(), "gap", "graphmat", "bfs")
+
+    def test_end_to_end_with_pipeline(self, tmp_path):
+        from repro.core.config import ExperimentConfig
+        from repro.core.experiment import Experiment
+
+        cfg = ExperimentConfig(output_dir=tmp_path, scale=9, n_roots=8,
+                               systems=("gap", "graphbig"),
+                               algorithms=("bfs",))
+        analysis = Experiment(cfg).run_all()
+        v = compare_systems(analysis.records, "gap", "graphbig", "bfs")
+        assert v.faster == "gap"

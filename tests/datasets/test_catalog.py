@@ -1,0 +1,44 @@
+"""Tests for the dataset catalog."""
+
+import pytest
+
+from repro.datasets.catalog import catalog, generate, get_entry
+from repro.errors import DatasetError
+
+
+def test_three_paper_datasets_present():
+    names = [e.name for e in catalog()]
+    assert names == ["cit-patents", "dota-league", "kronecker"]
+
+
+def test_published_sizes_recorded():
+    assert get_entry("cit-patents").full_vertices == 3_774_768
+    assert get_entry("dota-league").full_edges == 50_870_313
+    assert get_entry("kronecker").full_vertices is None
+
+
+def test_flags_match_generators():
+    for entry in catalog():
+        el = generate(entry.name) if entry.name != "kronecker" else \
+            generate(entry.name, scale=8)
+        assert el.directed == entry.directed, entry.name
+        assert el.weighted == entry.weighted, entry.name
+
+
+def test_generate_passes_kwargs():
+    el = generate("kronecker", scale=9)
+    assert el.n_vertices == 512
+
+
+def test_unknown_entry():
+    with pytest.raises(DatasetError):
+        get_entry("twitter-2010")
+
+
+def test_cli_lists_catalog(capsys):
+    from repro.cli import main
+
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "dota-league" in out
+    assert "3,774,768" in out

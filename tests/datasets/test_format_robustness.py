@@ -1,0 +1,58 @@
+"""Corrupted / truncated file handling for the binary formats."""
+
+import pytest
+
+from repro.datasets import formats
+from repro.errors import GraphFormatError
+
+
+@pytest.fixture
+def files(tmp_path, kron10):
+    return {
+        "sg": formats.write_sg(kron10, tmp_path / "g.sg",
+                               symmetrize=True),
+        "g500": formats.write_g500(kron10, tmp_path / "g.g500"),
+        "mtxbin": formats.write_graphmat_bin(kron10,
+                                             tmp_path / "g.mtxbin"),
+    }
+
+
+_READERS = {
+    "sg": formats.read_sg,
+    "g500": formats.read_g500,
+    "mtxbin": formats.read_graphmat_bin,
+}
+
+
+@pytest.mark.parametrize("key", sorted(_READERS))
+def test_truncated_body_detected(files, key):
+    path = files[key]
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(GraphFormatError):
+        _READERS[key](path)
+
+
+@pytest.mark.parametrize("key", sorted(_READERS))
+def test_truncated_header_detected(files, key):
+    path = files[key]
+    path.write_bytes(path.read_bytes()[:12])
+    with pytest.raises(GraphFormatError):
+        _READERS[key](path)
+
+
+@pytest.mark.parametrize("key", sorted(_READERS))
+def test_negative_counts_detected(files, key):
+    path = files[key]
+    data = bytearray(path.read_bytes())
+    # Corrupt the n_vertices field (bytes 8..16) to a negative value.
+    data[8:16] = (-5).to_bytes(8, "little", signed=True)
+    path.write_bytes(bytes(data))
+    with pytest.raises(GraphFormatError):
+        _READERS[key](path)
+
+
+@pytest.mark.parametrize("key", sorted(_READERS))
+def test_intact_files_still_read(files, key):
+    el = _READERS[key](files[key])
+    assert el is not None

@@ -1,0 +1,97 @@
+"""Unit + property tests for the Graph500 Kronecker generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.kronecker import (
+    INITIATOR_A,
+    INITIATOR_D,
+    KroneckerSpec,
+    generate_kronecker,
+)
+from repro.errors import DatasetError
+
+
+class TestSpec:
+    def test_graph500_sizes(self):
+        spec = KroneckerSpec(scale=22)
+        assert spec.n_vertices == 4_194_304          # paper Sec. III-B
+        assert spec.n_edges == 16 * 4_194_304
+
+    def test_default_initiator(self):
+        spec = KroneckerSpec(scale=4)
+        assert spec.a == pytest.approx(0.57)
+        assert spec.b == pytest.approx(0.19)
+        assert spec.c == pytest.approx(0.19)
+        assert spec.d == pytest.approx(0.05)
+        assert INITIATOR_A + 2 * 0.19 + INITIATOR_D == pytest.approx(1.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            KroneckerSpec(scale=0)
+
+    def test_invalid_initiator(self):
+        with pytest.raises(DatasetError):
+            KroneckerSpec(scale=4, a=0.6, b=0.3, c=0.2)
+
+    def test_name_carries_scale(self):
+        assert KroneckerSpec(scale=7).name == "kron-scale7"
+
+
+class TestGeneration:
+    def test_sizes(self):
+        el = generate_kronecker(KroneckerSpec(scale=8))
+        assert el.n_vertices == 256
+        assert el.n_edges == 16 * 256
+        assert not el.directed
+
+    def test_deterministic_per_seed(self):
+        a = generate_kronecker(KroneckerSpec(scale=8, seed=5))
+        b = generate_kronecker(KroneckerSpec(scale=8, seed=5))
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_seed_changes_graph(self):
+        a = generate_kronecker(KroneckerSpec(scale=8, seed=5))
+        b = generate_kronecker(KroneckerSpec(scale=8, seed=6))
+        assert not np.array_equal(a.src, b.src)
+
+    def test_weighted_uniform_01(self):
+        el = generate_kronecker(KroneckerSpec(scale=8, weighted=True))
+        assert el.weighted
+        assert np.all(el.weights > 0)
+        assert np.all(el.weights <= 1)
+
+    def test_degree_skew(self):
+        """RMAT-style generators produce heavy-tailed degrees: the max
+        degree dwarfs the mean."""
+        el = generate_kronecker(KroneckerSpec(scale=12))
+        deg = el.degrees()
+        assert deg.max() > 8 * deg.mean()
+
+    def test_scrambled_labels(self):
+        """With A=0.57, unpermuted RMAT concentrates edges on low ids;
+        the permutation must spread mass across the id space."""
+        el = generate_kronecker(KroneckerSpec(scale=12))
+        deg = el.degrees()
+        half = el.n_vertices // 2
+        lo, hi = deg[:half].sum(), deg[half:].sum()
+        assert 0.5 < lo / hi < 2.0
+
+    def test_duplicates_and_loops_allowed(self):
+        """The Graph500 spec leaves duplicates/self-loops in the list."""
+        el = generate_kronecker(KroneckerSpec(scale=10))
+        key = el.src * el.n_vertices + el.dst
+        assert np.unique(key).size < key.size  # duplicates exist
+
+
+@given(st.integers(min_value=3, max_value=10),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_generator_bounds_property(scale, seed):
+    el = generate_kronecker(KroneckerSpec(scale=scale, seed=seed))
+    assert el.n_edges == 16 * (1 << scale)
+    assert el.src.min() >= 0
+    assert el.dst.max() < el.n_vertices

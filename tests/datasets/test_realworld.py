@@ -1,0 +1,82 @@
+"""Tests of the synthetic cit-Patents / dota-league stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.realworld import (
+    CIT_PATENTS_FULL,
+    DOTA_LEAGUE_FULL,
+    cit_patents,
+    dota_league,
+)
+from repro.errors import DatasetError
+
+
+class TestPublishedStats:
+    def test_cit_patents_full_size(self):
+        assert CIT_PATENTS_FULL.n_vertices == 3_774_768  # Sec. III-B
+        assert CIT_PATENTS_FULL.n_edges == 16_518_948
+        assert CIT_PATENTS_FULL.directed
+        assert not CIT_PATENTS_FULL.weighted
+
+    def test_dota_full_size(self):
+        assert DOTA_LEAGUE_FULL.n_vertices == 61_670    # Sec. III-B
+        assert DOTA_LEAGUE_FULL.n_edges == 50_870_313
+        assert DOTA_LEAGUE_FULL.weighted
+        # "average out-degree of 824"
+        assert DOTA_LEAGUE_FULL.avg_out_degree == pytest.approx(824.9, abs=1)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(DatasetError):
+            CIT_PATENTS_FULL.scaled(0)
+
+
+class TestCitPatents:
+    def test_is_dag(self, patents_small):
+        """Citations point from newer to older patents."""
+        assert np.all(patents_small.dst < patents_small.src)
+
+    def test_directed_unweighted(self, patents_small):
+        assert patents_small.directed
+        assert not patents_small.weighted
+
+    def test_no_duplicates(self, patents_small):
+        key = patents_small.src * patents_small.n_vertices \
+            + patents_small.dst
+        assert np.unique(key).size == key.size
+
+    def test_avg_degree_preserved(self, patents_small):
+        deg = patents_small.n_edges / patents_small.n_vertices
+        assert 2.5 < deg < 6.5  # full graph: ~4.4
+
+    def test_heavy_tail_in_degree(self, patents_small):
+        indeg = np.bincount(patents_small.dst,
+                            minlength=patents_small.n_vertices)
+        assert indeg.max() > 10 * max(indeg.mean(), 1e-9)
+
+    def test_deterministic(self):
+        a = cit_patents(1 / 2048, seed=1)
+        b = cit_patents(1 / 2048, seed=1)
+        assert np.array_equal(a.src, b.src)
+
+
+class TestDotaLeague:
+    def test_weighted_undirected(self, dota_small):
+        assert not dota_small.directed
+        assert dota_small.weighted
+        assert np.all(dota_small.weights >= 1)
+
+    def test_denser_than_patents(self, dota_small, patents_small):
+        """The property the paper's Sec. IV-C observations hinge on."""
+        d_deg = dota_small.n_edges / dota_small.n_vertices
+        p_deg = patents_small.n_edges / patents_small.n_vertices
+        assert d_deg > 5 * p_deg
+
+    def test_repeat_matchups_have_weight(self, dota_small):
+        assert dota_small.weights.max() > 1
+
+    def test_no_self_loops(self, dota_small):
+        assert np.all(dota_small.src != dota_small.dst)
+
+    def test_canonical_pair_order(self, dota_small):
+        assert np.all(dota_small.src <= dota_small.dst)

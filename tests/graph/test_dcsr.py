@@ -1,0 +1,99 @@
+"""Unit tests for the doubly-compressed sparse row matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.dcsr import DCSRMatrix
+
+
+@pytest.fixture
+def sparse_csr():
+    """Rows 0 and 3 non-empty out of 5."""
+    return CSRGraph.from_arrays(np.array([0, 0, 3]),
+                                np.array([1, 4, 2]), 5,
+                                weights=np.array([1.0, 2.0, 3.0]))
+
+
+class TestCompression:
+    def test_empty_rows_removed(self, sparse_csr):
+        d = DCSRMatrix.from_csr(sparse_csr)
+        assert d.row_ids.tolist() == [0, 3]
+        assert d.n_nonempty_rows == 2
+        assert d.nnz == 3
+
+    def test_roundtrip(self, sparse_csr):
+        back = DCSRMatrix.from_csr(sparse_csr).to_csr()
+        assert np.array_equal(back.row_ptr, sparse_csr.row_ptr)
+        assert np.array_equal(back.col_idx, sparse_csr.col_idx)
+        assert np.array_equal(back.weights, sparse_csr.weights)
+
+    def test_kron_roundtrip(self, kron10_csr):
+        back = DCSRMatrix.from_csr(kron10_csr).to_csr()
+        assert np.array_equal(back.row_ptr, kron10_csr.row_ptr)
+        assert np.array_equal(back.col_idx, kron10_csr.col_idx)
+
+    def test_stored_empty_row_rejected(self):
+        with pytest.raises(GraphFormatError):
+            DCSRMatrix(n=3, row_ids=np.array([0, 1]),
+                       row_ptr=np.array([0, 1, 1]),
+                       col_idx=np.array([2]))
+
+    def test_unsorted_row_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            DCSRMatrix(n=3, row_ids=np.array([1, 0]),
+                       row_ptr=np.array([0, 1, 2]),
+                       col_idx=np.array([2, 2]))
+
+    def test_saves_memory_on_hypersparse(self, sparse_csr):
+        d = DCSRMatrix.from_csr(sparse_csr)
+        assert d.nbytes() < sparse_csr.nbytes()
+
+
+class TestSemiringSpMV:
+    def test_or_and_matches_dense(self, kron10_csr):
+        d = DCSRMatrix.from_csr(kron10_csr)
+        rng = np.random.default_rng(0)
+        x = rng.random(kron10_csr.n_vertices) < 0.2
+        got = d.spmv_or_and(x)
+        mat = kron10_csr.to_scipy()
+        want = np.asarray((mat @ x.astype(np.int64))).ravel() > 0
+        assert np.array_equal(got, want)
+
+    def test_min_plus_matches_dense(self, sparse_csr):
+        d = DCSRMatrix.from_csr(sparse_csr)
+        x = np.array([10.0, 1.0, 0.5, 2.0, 0.25])
+        got = d.spmv_min_plus(x)
+        assert got[0] == pytest.approx(min(1.0 + 1.0, 2.0 + 0.25))
+        assert got[3] == pytest.approx(3.0 + 0.5)
+        assert np.isinf(got[1]) and np.isinf(got[2]) and np.isinf(got[4])
+
+    def test_min_plus_pattern_only_is_min_gather(self):
+        csr = CSRGraph.from_arrays(np.array([0, 0]), np.array([1, 2]), 3)
+        d = DCSRMatrix.from_csr(csr)
+        got = d.spmv_min_plus(np.array([9.0, 5.0, 3.0]))
+        assert got[0] == 3.0
+
+    def test_plus_times_matches_dense(self, kron10_csr):
+        d = DCSRMatrix.from_csr(kron10_csr)
+        rng = np.random.default_rng(1)
+        x = rng.random(kron10_csr.n_vertices)
+        got = d.spmv_plus_times(x)
+        want = np.asarray(kron10_csr.to_scipy() @ x).ravel()
+        assert np.allclose(got, want)
+
+    def test_plus_times_pattern_only_ignores_values(self, sparse_csr):
+        d = DCSRMatrix.from_csr(sparse_csr)
+        x = np.ones(5)
+        got = d.spmv_plus_times(x, pattern_only=True)
+        assert got[0] == 2.0  # two entries, values ignored
+        assert got[3] == 1.0
+
+    def test_empty_matrix_spmv(self):
+        d = DCSRMatrix(n=3, row_ids=np.array([], dtype=np.int64),
+                       row_ptr=np.array([0]),
+                       col_idx=np.array([], dtype=np.int64))
+        assert not d.spmv_or_and(np.ones(3, dtype=bool)).any()
+        assert np.isinf(d.spmv_min_plus(np.zeros(3))).all()
+        assert not d.spmv_plus_times(np.ones(3)).any()

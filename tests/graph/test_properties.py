@@ -1,0 +1,106 @@
+"""Property-based tests of the core graph structures (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.dcsr import DCSRMatrix
+from repro.graph.edgelist import EdgeList
+
+
+@st.composite
+def edge_lists(draw, max_n=40, max_m=120, weighted=None):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    if weighted is None:
+        weighted = draw(st.booleans())
+    weights = None
+    if weighted:
+        weights = np.array(draw(st.lists(
+            st.floats(0.001, 100.0, allow_nan=False),
+            min_size=m, max_size=m)))
+    return EdgeList(np.array(src, dtype=np.int64),
+                    np.array(dst, dtype=np.int64), n,
+                    weights=weights, directed=draw(st.booleans()))
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_preserves_edge_multiset(el):
+    csr = CSRGraph.from_edge_list(el)
+    src, dst = csr.to_edge_arrays()
+    want = sorted(zip(el.src.tolist(), el.dst.tolist()))
+    got = sorted(zip(src.tolist(), dst.tolist()))
+    assert got == want
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_row_ptr_invariants(el):
+    csr = CSRGraph.from_edge_list(el)
+    assert csr.row_ptr[0] == 0
+    assert csr.row_ptr[-1] == csr.n_edges
+    assert np.all(np.diff(csr.row_ptr) >= 0)
+    assert csr.out_degrees().sum() == csr.n_edges
+    # Rows are sorted.
+    for v in range(csr.n_vertices):
+        nbrs = csr.neighbors(v)
+        assert np.all(np.diff(nbrs) >= 0)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_dcsr_csr_equivalence(el):
+    csr = CSRGraph.from_edge_list(el)
+    d = DCSRMatrix.from_csr(csr)
+    back = d.to_csr()
+    assert np.array_equal(back.row_ptr, csr.row_ptr)
+    assert np.array_equal(back.col_idx, csr.col_idx)
+    # Every stored row is genuinely non-empty.
+    assert np.all(np.diff(d.row_ptr) > 0)
+    assert d.nnz == csr.n_edges
+
+
+@given(edge_lists(weighted=True))
+@settings(max_examples=40, deadline=None)
+def test_dcsr_spmv_agrees_with_scipy(el):
+    csr = CSRGraph.from_edge_list(el)
+    d = DCSRMatrix.from_csr(csr)
+    x = np.linspace(0.5, 2.0, csr.n_vertices)
+    got = d.spmv_plus_times(x)
+    # scipy sums duplicates, matching plus-times semantics.
+    want = np.asarray(csr.to_scipy() @ x).ravel()
+    assert np.allclose(got, want)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_symmetrized_degree_identity(el):
+    sym = el.symmetrized()
+    csr = CSRGraph.from_edge_list(sym)
+    assert np.array_equal(csr.out_degrees(), csr.in_degrees())
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_transpose_preserves_multiset(el):
+    csr = CSRGraph.from_edge_list(el)
+    t = csr.transposed()
+    s1, d1 = csr.to_edge_arrays()
+    s2, d2 = t.to_edge_arrays()
+    assert sorted(zip(s1.tolist(), d1.tolist())) == \
+        sorted(zip(d2.tolist(), s2.tolist()))
+
+
+@given(edge_lists(), st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_permutation_preserves_structure(el, seed):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(el.n_vertices).astype(np.int64)
+    p = el.permuted(perm)
+    assert p.n_edges == el.n_edges
+    assert np.array_equal(
+        np.sort(p.degrees()), np.sort(el.degrees()))

@@ -1,0 +1,83 @@
+"""Tests of the Granula-style operation-tree performance model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graphalytics import GraphalyticsHarness
+from repro.graphalytics.granula import Operation, standard_job_model
+
+
+def test_tree_totals_roll_up():
+    model = standard_job_model()
+    model.root.child("LoadGraph").child("ReadFile").duration_s = 2.0
+    model.root.child("LoadGraph").child("BuildStructure").duration_s = 3.0
+    model.root.child("ProcessGraph").child(
+        "ExecuteAlgorithm").duration_s = 1.0
+    assert model.root.child("LoadGraph").total_s() == 5.0
+    assert model.root.total_s() == 6.0
+
+
+def test_unknown_child_rejected():
+    with pytest.raises(ConfigError):
+        standard_job_model().root.child("Shuffle")
+
+
+def test_attach_from_graphalytics_cell(dota_dataset):
+    h = GraphalyticsHarness(seed=7)
+    r = h.run_cell("graphmat", "pagerank", dota_dataset)
+    model = standard_job_model()
+    model.attach(r)
+    load = model.root.child("LoadGraph").total_s()
+    algo = model.root.child("ProcessGraph").total_s()
+    assert load == pytest.approx(r.breakdown["file_read"]
+                                 + r.breakdown["build"])
+    assert algo == pytest.approx(r.breakdown["algorithm"])
+    # The tree recovers the very split Graphalytics' own table hides.
+    assert load + algo == pytest.approx(r.reported_s)
+
+
+def test_report_renders_tree():
+    model = standard_job_model("Job42")
+    model.root.child("ProcessGraph").child(
+        "ExecuteAlgorithm").duration_s = 0.5
+    out = model.report()
+    assert out.startswith("Job42")
+    assert "ExecuteAlgorithm: 0.5000 s" in out
+
+
+def test_operation_without_measurement_renders_question_mark():
+    op = Operation("Mystery")
+    assert "?" in op.render()
+
+
+class TestFineGrainedFromKernel:
+    def test_supersteps_sum_to_kernel_time(self, kron10_dataset):
+        import pytest as _pytest
+
+        from repro.graphalytics.granula import from_kernel_result
+        from repro.systems import create_system
+
+        system = create_system("gap", n_threads=32)
+        loaded = system.load(kron10_dataset)
+        result = system.run(loaded, "bfs",
+                            root=int(kron10_dataset.roots[0]))
+        model = from_kernel_result(system, loaded, result)
+        exec_op = model.root.child("ProcessGraph").child(
+            "ExecuteAlgorithm")
+        # EngineStartup + one Superstep per recorded round.
+        assert len(exec_op.children) == result.profile.n_rounds + 1
+        total = sum(c.duration_s for c in exec_op.children)
+        assert total == _pytest.approx(result.time_s, rel=0.05)
+
+    def test_load_phases_attached(self, kron10_dataset):
+        from repro.graphalytics.granula import from_kernel_result
+        from repro.systems import create_system
+
+        system = create_system("graphmat", n_threads=32)
+        loaded = system.load(kron10_dataset)
+        result = system.run(loaded, "pagerank")
+        model = from_kernel_result(system, loaded, result)
+        load = model.root.child("LoadGraph")
+        assert load.child("ReadFile").duration_s == loaded.read_s
+        assert load.child("BuildStructure").duration_s == loaded.build_s
+        assert "Superstep" in model.report()

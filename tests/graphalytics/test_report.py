@@ -1,0 +1,51 @@
+"""Tests of the Graphalytics table / HTML report rendering."""
+
+import pytest
+
+from repro.graphalytics import (
+    GraphalyticsHarness,
+    render_html_report,
+    render_table,
+)
+
+
+@pytest.fixture(scope="module")
+def results(dota_dataset, patents_dataset):
+    h = GraphalyticsHarness(n_threads=32, seed=7)
+    return (h.run_matrix(dota_dataset, algorithms=("bfs", "pagerank",
+                                                   "sssp"))
+            + h.run_matrix(patents_dataset, algorithms=("bfs", "pagerank",
+                                                        "sssp")))
+
+
+def test_table_layout_matches_table1(results):
+    out = render_table(results)
+    lines = out.splitlines()
+    # One block per platform, GraphBIG first (Table I order).
+    assert any(line.startswith("GraphBIG") for line in lines)
+    assert any(line.startswith("PowerGraph") for line in lines)
+    assert any(line.startswith("GraphMat") for line in lines)
+    assert out.index("GraphBIG") < out.index("PowerGraph") < \
+        out.index("GraphMat")
+
+
+def test_table_contains_na(results):
+    out = render_table(results)
+    assert "N/A" in out  # cit-Patents SSSP
+
+
+def test_table_both_datasets(results):
+    out = render_table(results)
+    assert "dota-league" in out
+    assert "cit-Patents" in out
+
+
+def test_html_one_page_per_platform(results, tmp_path):
+    paths = render_html_report(results, tmp_path)
+    assert {p.name for p in paths} == {
+        "report-graphbig.html", "report-powergraph.html",
+        "report-graphmat.html"}
+    body = paths[0].read_text()
+    assert body.startswith("<!DOCTYPE html>")
+    assert "<table" in body
+    assert "One run per experiment" in body

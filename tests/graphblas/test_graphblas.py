@@ -1,0 +1,173 @@
+"""Tests for the GraphBLAS building-blocks layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs_levels, pagerank, sssp_dijkstra
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graphblas import (
+    LOR_LAND,
+    MAX_MIN,
+    MIN_PLUS,
+    PLUS_TIMES,
+    GrbMatrix,
+    KernelProfiler,
+    grb_bfs,
+    grb_pagerank,
+    grb_sssp,
+)
+
+
+@pytest.fixture(scope="module")
+def small_matrix(kron10_csr):
+    return GrbMatrix(kron10_csr)
+
+
+@pytest.fixture(scope="module")
+def pattern_matrix(kron10_csr):
+    return GrbMatrix(kron10_csr, values=np.ones(kron10_csr.n_edges))
+
+
+class TestMxv:
+    def test_plus_times_matches_scipy(self, kron10_csr, small_matrix):
+        rng = np.random.default_rng(0)
+        x = rng.random(kron10_csr.n_vertices)
+        got = small_matrix.mxv(PLUS_TIMES, x)
+        want = np.asarray(kron10_csr.to_scipy() @ x).ravel()
+        assert np.allclose(got, want)
+
+    def test_min_plus_empty_rows_get_identity(self):
+        csr = CSRGraph.from_arrays(np.array([0]), np.array([1]), 3,
+                                   weights=np.array([2.0]))
+        m = GrbMatrix(csr)
+        y = m.mxv(MIN_PLUS, np.array([1.0, 5.0, 9.0]))
+        assert y[0] == 7.0
+        assert np.isinf(y[1]) and np.isinf(y[2])
+
+    def test_max_min_semiring(self):
+        csr = CSRGraph.from_arrays(np.array([0, 0]), np.array([1, 2]), 3,
+                                   weights=np.array([4.0, 10.0]))
+        m = GrbMatrix(csr)
+        y = m.mxv(MAX_MIN, np.array([0.0, 7.0, 3.0]))
+        assert y[0] == max(min(4.0, 7.0), min(10.0, 3.0))
+
+    def test_mask_suppresses_rows(self, small_matrix):
+        x = np.ones(small_matrix.n)
+        mask = np.zeros(small_matrix.n, dtype=bool)
+        mask[5] = True
+        y = small_matrix.mxv(PLUS_TIMES, x, mask=mask)
+        assert (y != 0).sum() <= 1
+        y2 = small_matrix.mxv(PLUS_TIMES, x, mask=mask,
+                              complement_mask=True)
+        assert y2[5] == 0.0
+
+    def test_vxm_is_transpose_mxv(self, kron10_csr, small_matrix):
+        rng = np.random.default_rng(1)
+        x = rng.random(small_matrix.n)
+        got = small_matrix.vxm(PLUS_TIMES, x)
+        want = np.asarray(kron10_csr.to_scipy().T @ x).ravel()
+        assert np.allclose(got, want)
+
+    def test_transpose_cached_and_involutive(self, small_matrix):
+        t = small_matrix.transpose()
+        assert t.transpose() is small_matrix
+        assert small_matrix.transpose() is t
+
+    def test_length_mismatch(self, small_matrix):
+        with pytest.raises(ConfigError):
+            small_matrix.mxv(PLUS_TIMES, np.ones(3))
+
+    def test_values_alignment_checked(self, kron10_csr):
+        with pytest.raises(ConfigError):
+            GrbMatrix(kron10_csr, values=np.ones(3))
+
+
+class TestAlgorithms:
+    def test_bfs_matches_reference(self, kron10_csr, pattern_matrix):
+        for root in (0, 9):
+            got = grb_bfs(pattern_matrix, root)
+            assert np.array_equal(got, bfs_levels(kron10_csr, root))
+
+    def test_sssp_matches_dijkstra(self, kron10_csr, small_matrix):
+        got = grb_sssp(small_matrix, 3)
+        want = sssp_dijkstra(kron10_csr, 3)
+        finite = np.isfinite(want)
+        assert np.array_equal(np.isfinite(got), finite)
+        assert np.allclose(got[finite], want[finite])
+
+    def test_pagerank_matches_reference(self, kron10_csr,
+                                        pattern_matrix):
+        got, iters = grb_pagerank(pattern_matrix)
+        want, _ = pagerank(kron10_csr)
+        assert np.abs(got - want).sum() < 1e-6
+        assert iters > 1
+
+
+class TestProfiler:
+    def test_counts_primitives(self, kron10_csr):
+        prof = KernelProfiler()
+        m = GrbMatrix(kron10_csr, values=np.ones(kron10_csr.n_edges),
+                      profiler=prof)
+        grb_bfs(m, 0)
+        assert prof.total_calls > 0
+        assert any(k.startswith("mxv<lor_land>") for k in prof.stats)
+
+    def test_masked_bfs_touches_fewer_entries_than_unmasked_sweeps(
+            self, kron10_csr):
+        """The work-efficiency argument for masks: a full-sweep SpMV
+        BFS touches nnz per level; the masked one touches less."""
+        prof = KernelProfiler()
+        m = GrbMatrix(kron10_csr, values=np.ones(kron10_csr.n_edges),
+                      profiler=prof)
+        level = grb_bfs(m, 0)
+        depth = int(level.max())
+        masked_entries = prof.total_entries
+        assert masked_entries < kron10_csr.n_edges * (depth + 1)
+
+    def test_report_renders(self, kron10_csr):
+        prof = KernelProfiler()
+        m = GrbMatrix(kron10_csr, profiler=prof)
+        m.mxv(PLUS_TIMES, np.ones(m.n))
+        m.reduce(PLUS_TIMES, np.ones(m.n))
+        out = prof.report()
+        assert "mxv<plus_times>" in out
+        assert "TOTAL" in out
+
+    def test_reset(self):
+        prof = KernelProfiler()
+        prof.record("mxv", "plus_times", 10, 5)
+        prof.reset()
+        assert prof.total_calls == 0
+
+
+class TestSemiringProperties:
+    @given(vals=st.lists(st.floats(-100, 100, allow_nan=False),
+                         min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_add_identity_neutral(self, vals):
+        for sr in (PLUS_TIMES, MIN_PLUS, MAX_MIN):
+            arr = np.array(vals + [sr.add_identity])
+            reduced = sr.add.reduce(arr)
+            assert reduced == pytest.approx(
+                sr.add.reduce(np.array(vals)), rel=1e-12, abs=1e-12)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_mxv_distributes_over_masked_union(self, seed):
+        """Computing masked halves separately equals one full mxv."""
+        rng = np.random.default_rng(seed)
+        n, m = 20, 60
+        csr = CSRGraph.from_arrays(rng.integers(0, n, m),
+                                   rng.integers(0, n, m), n,
+                                   weights=rng.random(m))
+        mat = GrbMatrix(csr)
+        x = rng.random(n)
+        mask = rng.random(n) < 0.5
+        full = mat.mxv(PLUS_TIMES, x)
+        lo = mat.mxv(PLUS_TIMES, x, mask=mask)
+        hi = mat.mxv(PLUS_TIMES, x, mask=mask, complement_mask=True)
+        merged = np.where(mask, lo, hi)
+        assert np.allclose(merged, full)

@@ -1,0 +1,67 @@
+"""Tests for the deterministic run-to-run variance model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.variance import VarianceModel
+
+
+@pytest.fixture
+def vm():
+    return VarianceModel(seed=42)
+
+
+def test_deterministic_per_key(vm):
+    k = ("gap", "bfs", 5, 0)
+    assert vm.jitter(1.0, k) == vm.jitter(1.0, k)
+
+
+def test_different_keys_differ(vm):
+    a = vm.jitter(1.0, ("gap", "bfs", 5, 0))
+    b = vm.jitter(1.0, ("gap", "bfs", 5, 1))
+    assert a != b
+
+
+def test_seed_changes_draws():
+    a = VarianceModel(1).jitter(1.0, ("x",))
+    b = VarianceModel(2).jitter(1.0, ("x",))
+    assert a != b
+
+
+def test_jitter_positive(vm):
+    vals = [vm.jitter(0.01, ("k", i)) for i in range(200)]
+    assert all(v > 0 for v in vals)
+
+
+def test_jitter_unbiased_at_small_sigma(vm):
+    vals = np.array([vm.jitter(1.0, ("k", i)) for i in range(500)])
+    # Multiplicative part centered at 1; spikes only add.
+    assert 0.99 < np.median(vals) < 1.05
+
+
+def test_short_runs_have_larger_relative_spread(vm):
+    """The paper's Graph500 explanation: short kernels are more exposed
+    to CPU spikes, so their *relative* spread is wider."""
+    short = np.array([vm.jitter(0.005, ("s", i)) for i in range(400)])
+    long_ = np.array([vm.jitter(5.0, ("l", i)) for i in range(400)])
+    rsd_short = short.std() / short.mean()
+    rsd_long = long_.std() / long_.mean()
+    assert rsd_short > 2 * rsd_long
+
+
+def test_sensitivity_amplifies(vm):
+    base = np.array([vm.jitter(0.01, ("a", i)) for i in range(300)])
+    hot = np.array([vm.jitter(0.01, ("a", i), sensitivity=3.0)
+                    for i in range(300)])
+    assert hot.std() > base.std()
+
+
+def test_negative_duration_rejected(vm):
+    with pytest.raises(ValueError):
+        vm.jitter(-1.0, ("k",))
+
+
+def test_power_jitter_positive_and_centered(vm):
+    vals = np.array([vm.power_jitter(70.0, ("p", i)) for i in range(300)])
+    assert np.all(vals > 0)
+    assert 69 < np.median(vals) < 71

@@ -1,0 +1,86 @@
+"""Tests for power parameters and Table III accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.spec import haswell_server
+from repro.power.energy import (
+    EnergyReport,
+    PowerParams,
+    instantaneous_power,
+    sleep_baseline,
+)
+
+
+@pytest.fixture
+def machine():
+    return haswell_server()
+
+
+def test_anchor_reproduced_at_32_threads(machine):
+    """instantaneous_power at 32 threads returns the calibration anchor."""
+    p = PowerParams(72.38, 16.5, smt_yield=0.42)
+    pkg, dram = instantaneous_power(machine, p, 32)
+    assert pkg == pytest.approx(72.38, rel=1e-6)
+    assert dram == pytest.approx(16.5, rel=1e-6)
+
+
+def test_power_grows_with_threads(machine):
+    p = PowerParams(72.38, 16.5)
+    vals = [instantaneous_power(machine, p, n)[0]
+            for n in (1, 2, 8, 32, 72)]
+    assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+def test_power_capped_at_envelope(machine):
+    p = PowerParams(140.0, 21.0)
+    pkg, dram = instantaneous_power(machine, p, 72)
+    assert pkg <= machine.max_pkg_watts
+    assert dram <= machine.max_dram_watts
+
+
+def test_serial_power_above_idle(machine):
+    p = PowerParams(72.38, 16.5)
+    pkg, dram = instantaneous_power(machine, p, 1)
+    assert machine.idle_pkg_watts < pkg < 72.38
+    assert machine.idle_dram_watts < dram < 16.5
+
+
+def test_sleep_baseline(machine):
+    pkg, dram = sleep_baseline(machine)
+    assert pkg == pytest.approx(24.74)
+    assert dram == pytest.approx(9.6)
+    with pytest.raises(ConfigError):
+        sleep_baseline(machine, duration_s=0)
+
+
+def test_invalid_power_params():
+    with pytest.raises(ConfigError):
+        PowerParams(0.0, 10.0)
+
+
+class TestEnergyReport:
+    def test_table3_gap_row(self, machine):
+        """GAP column of Table III: 0.01636 s, 72.38 W -> 1.184 J,
+        0.4046 J sleeping, 2.926x increase."""
+        rep = EnergyReport.from_measurement(
+            pkg_j=72.38 * 0.01636, dram_j=0.27, time_s=0.01636,
+            machine=machine)
+        assert rep.avg_pkg_watts == pytest.approx(72.38)
+        assert rep.pkg_energy_j == pytest.approx(1.184, rel=1e-3)
+        assert rep.sleep_energy_j == pytest.approx(0.4046, rel=1e-3)
+        assert rep.increase_over_sleep == pytest.approx(2.926, rel=1e-3)
+
+    def test_energy_identity(self, machine):
+        """energy = mean power x time, the accounting invariant."""
+        rep = EnergyReport.from_measurement(10.0, 2.0, 4.0, machine)
+        assert rep.avg_pkg_watts * rep.time_s == pytest.approx(
+            rep.pkg_energy_j)
+
+    def test_zero_time(self, machine):
+        rep = EnergyReport.from_measurement(0.0, 0.0, 0.0, machine)
+        assert rep.increase_over_sleep == float("inf")
+
+    def test_negative_time_rejected(self, machine):
+        with pytest.raises(ConfigError):
+            EnergyReport.from_measurement(1.0, 1.0, -1.0, machine)

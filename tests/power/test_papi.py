@@ -1,0 +1,83 @@
+"""Tests for the Fig 10 power_rapl_* API."""
+
+import pytest
+
+from repro.errors import PowerMeasurementError
+from repro.machine.clock import SimulatedClock
+from repro.power.papi import (
+    power_rapl_end,
+    power_rapl_init,
+    power_rapl_print,
+    power_rapl_start,
+)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(idle_pkg_watts=24.74, idle_dram_watts=9.6)
+
+
+def test_protocol(clock):
+    """init -> start -> region -> end -> print, as in Fig 10."""
+    ps = power_rapl_init(clock)
+    power_rapl_start(ps)
+    clock.advance(0.5, 72.38, 16.5)
+    power_rapl_end(ps)
+    assert ps.duration_s == pytest.approx(0.5)
+    assert ps.package_joules == pytest.approx(36.19, rel=1e-3)
+    assert ps.dram_joules == pytest.approx(8.25, rel=1e-3)
+
+
+def test_print_format(clock):
+    ps = power_rapl_init(clock)
+    power_rapl_start(ps)
+    clock.advance(1.0, 50.0, 12.0)
+    power_rapl_end(ps)
+    lines = power_rapl_print(ps)
+    assert lines[0].startswith("PACKAGE_ENERGY:PACKAGE0 ")
+    assert lines[1].startswith("DRAM_ENERGY:PACKAGE0 ")
+    assert lines[0].endswith(" s")
+    assert ps.lines == lines
+
+
+def test_end_without_start_rejected(clock):
+    ps = power_rapl_init(clock)
+    with pytest.raises(PowerMeasurementError):
+        power_rapl_end(ps)
+
+
+def test_result_before_end_rejected(clock):
+    ps = power_rapl_init(clock)
+    power_rapl_start(ps)
+    with pytest.raises(PowerMeasurementError):
+        _ = ps.package_joules
+
+
+def test_context_manager(clock):
+    ps = power_rapl_init(clock)
+    with ps:
+        clock.advance(0.25, 100.0, 20.0)
+    assert ps.duration_s == pytest.approx(0.25)
+
+
+def test_restart_resets_end(clock):
+    ps = power_rapl_init(clock)
+    power_rapl_start(ps)
+    clock.advance(0.1, 50, 10)
+    power_rapl_end(ps)
+    first = ps.package_joules
+    power_rapl_start(ps)
+    clock.advance(0.2, 50, 10)
+    power_rapl_end(ps)
+    assert ps.duration_s == pytest.approx(0.2)
+    assert ps.package_joules == pytest.approx(2 * first, rel=1e-3)
+
+
+def test_idle_region_measures_sleep_power(clock):
+    """The Table III baseline: measuring around sleep(10)."""
+    ps = power_rapl_init(clock)
+    power_rapl_start(ps)
+    clock.advance(10.0)  # idle
+    power_rapl_end(ps)
+    watts = ps.package_joules / ps.duration_s
+    assert watts == pytest.approx(24.74, rel=1e-3)

@@ -1,0 +1,63 @@
+"""Tests for the simulated RAPL counters."""
+
+import pytest
+
+from repro.errors import PowerMeasurementError
+from repro.machine.clock import SimulatedClock
+from repro.power.rapl import RAPL_ENERGY_UNIT_J, RaplCounters, RaplSimulator
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(idle_pkg_watts=25.0, idle_dram_watts=10.0)
+
+
+def test_counters_monotone(clock):
+    rapl = RaplSimulator(clock)
+    a = rapl.sample()
+    clock.advance(1.0, 80.0, 15.0)
+    b = rapl.sample()
+    assert b.package >= a.package
+    assert b.dram >= a.dram
+
+
+def test_delta_matches_timeline(clock):
+    rapl = RaplSimulator(clock)
+    before = rapl.sample()
+    clock.advance(2.0, 75.0, 12.0)
+    after = rapl.sample()
+    pkg, dram, dur = RaplSimulator.delta_joules(before, after)
+    assert dur == pytest.approx(2.0)
+    assert pkg == pytest.approx(150.0, rel=1e-4)
+    assert dram == pytest.approx(24.0, rel=1e-4)
+
+
+def test_quantization(clock):
+    """Counters advance in RAPL energy units (2^-16 J)."""
+    rapl = RaplSimulator(clock)
+    clock.advance(1e-9, 100.0, 10.0)  # 1e-7 J: below one unit
+    s = rapl.sample()
+    assert s.package * RAPL_ENERGY_UNIT_J < 1e-4
+
+
+def test_wraparound_handled():
+    span = 1 << RaplSimulator.COUNTER_BITS
+    before = RaplCounters(package=span - 10, dram=span - 5,
+                          timestamp_s=0.0)
+    after = RaplCounters(package=5, dram=2, timestamp_s=1.0)
+    pkg, dram, dur = RaplSimulator.delta_joules(before, after)
+    assert pkg == pytest.approx(15 * RAPL_ENERGY_UNIT_J)
+    assert dram == pytest.approx(7 * RAPL_ENERGY_UNIT_J)
+
+
+def test_out_of_order_samples_rejected():
+    a = RaplCounters(package=0, dram=0, timestamp_s=5.0)
+    b = RaplCounters(package=0, dram=0, timestamp_s=1.0)
+    with pytest.raises(PowerMeasurementError):
+        RaplSimulator.delta_joules(a, b)
+
+
+def test_joule_accessors():
+    c = RaplCounters(package=1 << 16, dram=1 << 15, timestamp_s=0.0)
+    assert c.package_joules() == pytest.approx(1.0)
+    assert c.dram_joules() == pytest.approx(0.5)

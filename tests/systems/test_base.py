@@ -1,0 +1,107 @@
+"""Tests for the GraphSystem interface contracts."""
+
+import pytest
+
+from repro.errors import SystemCapabilityError
+from repro.systems import available_systems, create_system
+from repro.systems.registry import ALL_SYSTEM_NAMES, register_system
+
+
+class TestRegistry:
+    def test_all_five_available(self):
+        assert set(ALL_SYSTEM_NAMES) <= set(available_systems())
+
+    def test_create_unknown(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            create_system("pregel")
+
+    def test_register_custom(self):
+        from repro.systems.gap import GapSystem
+        from repro.systems.registry import unregister_system
+
+        class MySystem(GapSystem):
+            name = "mysystem-test"
+
+        register_system("mysystem-test", MySystem, replace=True)
+        try:
+            assert "mysystem-test" in available_systems()
+            assert isinstance(create_system("mysystem-test"), MySystem)
+        finally:
+            unregister_system("mysystem-test")
+        assert "mysystem-test" not in available_systems()
+
+    def test_register_duplicate_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            register_system("gap", lambda: None)
+
+
+class TestCapabilities:
+    def test_paper_capability_matrix(self):
+        """Sec. III-C/III-D: who provides what."""
+        caps = {name: create_system(name).provides
+                for name in ALL_SYSTEM_NAMES}
+        assert caps["graph500"] == {"bfs"}
+        assert "bfs" not in caps["powergraph"]       # no BFS toolkit
+        assert "sssp" in caps["powergraph"]
+        assert caps["graphbig"] >= {"bfs", "sssp", "pagerank", "wcc",
+                                    "cdlp", "lcc"}
+        assert caps["graphmat"] >= {"bfs", "sssp", "pagerank", "wcc",
+                                    "cdlp", "lcc"}
+        assert caps["gap"] >= {"bfs", "sssp", "pagerank"}
+
+    def test_require_raises(self):
+        s = create_system("graph500")
+        with pytest.raises(SystemCapabilityError):
+            s.require("pagerank")
+
+    def test_run_unsupported_raises(self, kron10_dataset):
+        s = create_system("powergraph")
+        loaded = s.load(kron10_dataset)
+        with pytest.raises(SystemCapabilityError):
+            s.run(loaded, "bfs", root=0)
+
+    def test_bfs_requires_root(self, kron10_dataset):
+        s = create_system("gap")
+        loaded = s.load(kron10_dataset)
+        with pytest.raises(SystemCapabilityError):
+            s.run(loaded, "bfs")
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(SystemCapabilityError):
+            create_system("gap", n_threads=0)
+
+
+class TestSeparableConstruction:
+    def test_fused_systems_report_no_build(self, kron10_dataset):
+        """GraphBIG and PowerGraph read + build simultaneously
+        (Sec. III-B), so build_s is None and load time is one lump."""
+        for name in ("graphbig", "powergraph"):
+            loaded = create_system(name).load(kron10_dataset)
+            assert loaded.build_s is None
+            assert loaded.read_s > 0
+
+    def test_separable_systems_report_both(self, kron10_dataset):
+        for name in ("gap", "graph500", "graphmat"):
+            loaded = create_system(name).load(kron10_dataset)
+            assert loaded.build_s is not None and loaded.build_s > 0
+            assert loaded.read_s > 0
+
+    def test_load_s_is_total(self, kron10_dataset):
+        loaded = create_system("gap").load(kron10_dataset)
+        assert loaded.load_s == pytest.approx(
+            loaded.read_s + loaded.build_s)
+
+
+class TestGraph500KroneckerOnly:
+    def test_refuses_real_world(self, dota_dataset):
+        s = create_system("graph500")
+        with pytest.raises(SystemCapabilityError):
+            s.load(dota_dataset)
+
+    def test_accepts_kronecker(self, kron10_dataset):
+        s = create_system("graph500")
+        assert s.load(kron10_dataset).n_arcs > 0

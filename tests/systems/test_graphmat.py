@@ -1,0 +1,94 @@
+"""GraphMat-specific behaviour: DCSR SpMV, phases, f32 PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.graph.dcsr import DCSRMatrix
+from repro.systems import create_system
+
+
+@pytest.fixture(scope="module")
+def gmat(kron10_dataset):
+    s = create_system("graphmat", n_threads=32)
+    return s, s.load(kron10_dataset)
+
+
+class TestStructure:
+    def test_uses_dcsr(self, gmat):
+        _, loaded = gmat
+        assert isinstance(loaded.data.at, DCSRMatrix)
+        assert isinstance(loaded.data.at_sym, DCSRMatrix)
+
+    def test_transpose_stored(self, gmat, kron10_csr):
+        """GraphMat pulls along in-edges: the matrix is A^T."""
+        _, loaded = gmat
+        at = loaded.data.at.to_csr()
+        assert np.array_equal(np.sort(at.out_degrees()),
+                              np.sort(kron10_csr.in_degrees()))
+
+
+class TestPagerankCriterion:
+    def test_most_iterations_of_all_systems(self, kron10_dataset):
+        """Fig 4: GraphMat's no-change criterion needs the most sweeps;
+        GAP's Gauss-Seidel the fewest."""
+        iters = {}
+        for name in ("gap", "graphbig", "graphmat", "powergraph"):
+            s = create_system(name)
+            loaded = s.load(kron10_dataset)
+            iters[name] = s.run(loaded, "pagerank").iterations
+        assert iters["graphmat"] == max(iters.values())
+        assert iters["gap"] == min(iters.values())
+        assert iters["graphmat"] > 1.3 * iters["graphbig"]
+
+    def test_epsilon_parameter_ignored(self, gmat):
+        """Sec. IV-A: 'with GraphMat there is no computation of
+        |p_k - p_k'|' -- the homogenized epsilon cannot be applied."""
+        s, loaded = gmat
+        a = s.run(loaded, "pagerank", epsilon=0.5)
+        b = s.run(loaded, "pagerank", epsilon=1e-300)
+        assert a.iterations == b.iterations
+
+    def test_float32_output(self, gmat):
+        """Ranks pass through float32: they carry at most f32 precision
+        but are still a probability vector."""
+        s, loaded = gmat
+        r = s.run(loaded, "pagerank").output["rank"]
+        assert r.sum() == pytest.approx(1.0, abs=1e-4)
+
+
+class TestPhases:
+    def test_phase_breakdown_matches_log_excerpt_shape(self, gmat,
+                                                       kron10_dataset):
+        s, loaded = gmat
+        res = s.run(loaded, "pagerank")
+        phases = s.phase_breakdown(loaded, res)
+        # "load graph" includes the file read (the Table I flaw source).
+        assert phases.load_graph_s >= phases.file_read_s
+        assert phases.run_algorithm_s == res.time_s
+        assert phases.init_engine_s < 1e-3
+        assert phases.algorithm_label == "compute PageRank"
+
+    def test_binary_read_faster_than_text(self, kron10_dataset):
+        """The homogenizer writes GraphMat's binary format precisely so
+        file I/O is fast (Sec. III-B)."""
+        gm = create_system("graphmat").load(kron10_dataset)
+        gap = create_system("gap").load(kron10_dataset)
+        gm_rate = gm.input_bytes / gm.read_s
+        gap_rate = gap.input_bytes / gap.read_s
+        assert gm_rate > gap_rate
+
+
+class TestSpmvKernels:
+    def test_bfs_counts_masked_nnz(self, gmat, kron10_dataset):
+        """Masked SpMV: total touched entries ~ one pass over nnz."""
+        s, loaded = gmat
+        res = s.run(loaded, "bfs", root=int(kron10_dataset.roots[0]))
+        nnz = loaded.data.at.nnz
+        n = loaded.data.n
+        depth = res.counters["depth"]
+        assert res.profile.total_units <= nnz + (depth + 1) * n + n
+
+    def test_sssp_iterations_recorded(self, gmat, kron10_dataset):
+        s, loaded = gmat
+        res = s.run(loaded, "sssp", root=int(kron10_dataset.roots[0]))
+        assert res.counters["iterations"] >= 1

@@ -1,0 +1,187 @@
+"""PowerGraph-specific behaviour: vertex cut, GAS engine, overhead."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import sssp_dijkstra
+from repro.systems import create_system
+from repro.systems.powergraph.gas import GasEngine, VertexProgram
+from repro.systems.powergraph.partition import random_vertex_cut
+
+
+class TestVertexCut:
+    def test_every_edge_assigned(self, kron10):
+        cut = random_vertex_cut(kron10.src, kron10.dst,
+                                kron10.n_vertices, 16)
+        assert cut.edge_partition.size == kron10.n_edges
+        assert cut.edge_partition.min() >= 0
+        assert cut.edge_partition.max() < 16
+
+    def test_replication_factor_bounds(self, kron10):
+        cut = random_vertex_cut(kron10.src, kron10.dst,
+                                kron10.n_vertices, 16)
+        assert 1.0 <= cut.replication_factor <= 16.0
+
+    def test_high_degree_vertices_replicate_more(self, kron10):
+        """The property behind PowerGraph's dense-graph advantage
+        (Sec. IV-C): hubs spread over many partitions."""
+        cut = random_vertex_cut(kron10.src, kron10.dst,
+                                kron10.n_vertices, 16)
+        deg = kron10.degrees()
+        hubs = deg >= np.percentile(deg[deg > 0], 95)
+        leaves = (deg > 0) & (deg <= 2)
+        assert cut.replicas[hubs].mean() > cut.replicas[leaves].mean()
+
+    def test_master_is_a_hosting_partition(self, kron10):
+        cut = random_vertex_cut(kron10.src, kron10.dst,
+                                kron10.n_vertices, 8)
+        present = cut.replicas > 0
+        assert np.all(cut.master[present] >= 0)
+        assert np.all(cut.master[~present] == -1)
+
+    def test_deterministic(self, kron10):
+        a = random_vertex_cut(kron10.src, kron10.dst,
+                              kron10.n_vertices, 8, seed=3)
+        b = random_vertex_cut(kron10.src, kron10.dst,
+                              kron10.n_vertices, 8, seed=3)
+        assert np.array_equal(a.edge_partition, b.edge_partition)
+
+    def test_partition_count_validated(self, kron10):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            random_vertex_cut(kron10.src, kron10.dst,
+                              kron10.n_vertices, 0)
+
+
+class TestGasEngine:
+    def test_quiesces(self, kron10_dataset):
+        s = create_system("powergraph")
+        loaded = s.load(kron10_dataset)
+        res = s.run(loaded, "sssp", root=int(kron10_dataset.roots[0]))
+        assert res.iterations < 10_000  # reached quiescence, not cap
+
+    def test_initially_active_scatter_once(self):
+        """Regression: the SSSP root's unchanged apply must still
+        scatter on superstep 1."""
+        from repro.graph.csr import CSRGraph
+        from repro.systems.powergraph import programs
+
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        w = np.array([1.0, 1.0])
+        inn = CSRGraph.from_arrays(dst, src, 3, weights=w)
+        out = CSRGraph.from_arrays(src, dst, 3, weights=w)
+        cut = random_vertex_cut(src, dst, 3, 2)
+        engine = GasEngine(inn, out, cut)
+        dist, _, _, _ = programs.run_sssp(engine, 0)
+        assert dist.tolist() == [0.0, 1.0, 2.0]
+
+    def test_unknown_reduce_rejected(self):
+        from repro.graph.csr import CSRGraph
+
+        src = np.array([0])
+        dst = np.array([1])
+        inn = CSRGraph.from_arrays(dst, src, 2)
+        out = CSRGraph.from_arrays(src, dst, 2)
+        cut = random_vertex_cut(src, dst, 2, 2)
+        engine = GasEngine(inn, out, cut)
+        prog = VertexProgram(name="bad", gather=lambda *a: a[1] * 0.0,
+                             reduce="median", apply=lambda s, v, g: g)
+        with pytest.raises(ValueError):
+            engine.run(prog, np.zeros(2), np.ones(2, dtype=bool))
+
+    def test_mirror_sync_charged(self, kron10_dataset):
+        """Per-superstep work includes replication traffic."""
+        s = create_system("powergraph")
+        loaded = s.load(kron10_dataset)
+        res = s.run(loaded, "pagerank")
+        rep = res.counters["replication_factor"]
+        assert rep > 1.0
+        n = loaded.n_vertices
+        per_sweep = res.profile.rounds[0].units
+        assert per_sweep >= loaded.n_arcs + n + rep * n - 1
+
+
+class TestOverheadBehaviour:
+    def test_engine_startup_dominates_small_graphs(self, kron10_dataset):
+        """Sec. VI: 'the overhead of these frameworks may dominate for
+        smaller problem sizes.'"""
+        s = create_system("powergraph")
+        loaded = s.load(kron10_dataset)
+        res = s.run(loaded, "sssp", root=int(kron10_dataset.roots[0]))
+        assert res.sim.startup_s / res.time_s > 0.5
+
+    def test_slowest_sssp_of_all_systems(self, kron10_dataset):
+        """Fig 3: PowerGraph is the slowest SSSP."""
+        root = int(kron10_dataset.roots[0])
+        times = {}
+        for name in ("gap", "graphbig", "graphmat", "powergraph"):
+            s = create_system(name)
+            loaded = s.load(kron10_dataset)
+            times[name] = s.run(loaded, "sssp", root=root).time_s
+        assert times["powergraph"] == max(times.values())
+
+
+class TestAsyncEngine:
+    """PowerGraph's --engine async (min-programs via best-first
+    label-correcting instead of BSP sweeps)."""
+
+    def test_sssp_matches_sync(self, kron10_dataset):
+        root = int(kron10_dataset.roots[0])
+        sync = create_system("powergraph", engine="sync")
+        asy = create_system("powergraph", engine="async")
+        d_sync = sync.run(sync.load(kron10_dataset), "sssp",
+                          root=root).output["dist"]
+        d_async = asy.run(asy.load(kron10_dataset), "sssp",
+                          root=root).output["dist"]
+        assert np.allclose(np.nan_to_num(d_sync, posinf=-1),
+                           np.nan_to_num(d_async, posinf=-1))
+
+    def test_wcc_matches_sync(self, kron10_dataset):
+        sync = create_system("powergraph", engine="sync")
+        asy = create_system("powergraph", engine="async")
+        a = sync.run(sync.load(kron10_dataset), "wcc").output["labels"]
+        b = asy.run(asy.load(kron10_dataset), "wcc").output["labels"]
+        assert np.array_equal(a, b)
+
+    def test_async_relaxes_fewer_edges(self, kron10_dataset):
+        """Best-first ordering processes each vertex near-optimally,
+        relaxing fewer edges than frontier-wide synchronous sweeps."""
+        root = int(kron10_dataset.roots[0])
+        sync = create_system("powergraph", engine="sync")
+        asy = create_system("powergraph", engine="async")
+        r_sync = sync.run(sync.load(kron10_dataset), "sssp", root=root)
+        r_async = asy.run(asy.load(kron10_dataset), "sssp", root=root)
+        assert r_async.counters["gathered_edges"] < \
+            r_sync.counters["gathered_edges"]
+
+    def test_async_bfs_driver(self, kron10_dataset, kron10_csr):
+        from repro.algorithms import bfs_levels
+
+        asy = create_system("powergraph", engine="async")
+        loaded = asy.load(kron10_dataset)
+        root = int(kron10_dataset.roots[1])
+        res = asy.run_toolkit_extension(loaded, "bfs-hops", root=root)
+        assert np.array_equal(res.output["level"],
+                              bfs_levels(kron10_csr, root))
+
+    def test_async_rejects_non_min_programs(self, kron10_dataset):
+        from repro.systems.powergraph.gas import (
+            AsyncGasEngine,
+            VertexProgram,
+        )
+
+        asy = create_system("powergraph", engine="async")
+        loaded = asy.load(kron10_dataset)
+        prog = VertexProgram(name="sum", gather=lambda *a: a[1],
+                             reduce="sum", apply=lambda s, v, g: g)
+        with pytest.raises(ValueError):
+            loaded.data.engine.run(prog, np.zeros(loaded.n_vertices),
+                                   np.ones(loaded.n_vertices, bool))
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import SystemCapabilityError
+
+        with pytest.raises(SystemCapabilityError):
+            create_system("powergraph", engine="fiber")

@@ -1,0 +1,134 @@
+"""Tests for the five-command CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_systems_command(capsys):
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == ["gap", "graph500", "graphbig", "graphmat",
+                   "powergraph"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_setup(tmp_path, capsys):
+    assert main(["setup", "--output", str(tmp_path)]) == 0
+    assert "installed systems" in capsys.readouterr().out
+    assert (tmp_path / "config.json").exists()
+
+
+def test_homogenize(tmp_path, capsys):
+    assert main(["homogenize", "--output", str(tmp_path),
+                 "--scale", "8", "--roots", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "homogenized kron-scale8" in out
+    assert (tmp_path / "datasets" / "kron-scale8"
+            / "manifest.json").exists()
+
+
+def test_full_pipeline_via_subcommands(tmp_path, capsys):
+    args = ["--output", str(tmp_path), "--scale", "8", "--roots", "2",
+            "--systems", "gap", "graph500", "--algorithms", "bfs"]
+    assert main(["run"] + args) == 0
+    assert main(["parse"] + args) == 0
+    assert (tmp_path / "results.csv").exists()
+    assert main(["analyze"] + args) == 0
+    out = capsys.readouterr().out
+    assert "gap/bfs" in out
+
+
+def test_all_with_figure(tmp_path, capsys):
+    assert main(["all", "--output", str(tmp_path), "--scale", "8",
+                 "--roots", "2", "--systems", "gap", "graphmat",
+                 "--algorithms", "bfs", "--figure", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2" in out
+
+
+def test_graphalytics_command(tmp_path, capsys):
+    assert main(["graphalytics", "--output", str(tmp_path),
+                 "--dataset", "dota-league", "--roots", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "GraphBIG" in out and "PowerGraph" in out and "GraphMat" in out
+
+
+def test_rejects_unknown_system(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run", "--output", str(tmp_path), "--systems", "ligra"])
+
+
+def test_feasibility_command(capsys):
+    assert main(["feasibility", "--scale", "22",
+                 "--time-limit", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "kron-scale22" in out
+    assert "NO (time)" in out      # LCC blows a 100 s budget
+    assert "OK" in out
+
+
+def test_viz_command(tmp_path, capsys):
+    main(["all", "--output", str(tmp_path), "--scale", "8",
+          "--roots", "2", "--systems", "gap", "--algorithms", "bfs"])
+    capsys.readouterr()
+    assert main(["viz", "--output", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert ".svg" in out
+    assert (tmp_path / "figures").is_dir()
+
+
+def test_compare_command(tmp_path, capsys):
+    main(["all", "--output", str(tmp_path), "--scale", "9",
+          "--roots", "6", "--systems", "gap", "graphbig",
+          "--algorithms", "bfs"])
+    capsys.readouterr()
+    assert main(["compare", "--output", str(tmp_path),
+                 "--algorithm", "bfs", "--pair", "gap", "graphbig"]) == 0
+    out = capsys.readouterr().out
+    assert "faster" in out
+    assert "95% CI" in out
+
+
+def test_traces_command(tmp_path, capsys):
+    from repro.core.config import ExperimentConfig
+    from repro.core.experiment import Experiment
+
+    cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                           systems=("gap",), algorithms=("bfs",),
+                           capture_power_traces=True)
+    Experiment(cfg).run_all()
+    assert main(["traces", "--output", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.count(".svg") == 2
+
+
+def test_traces_command_without_traces(tmp_path, capsys):
+    assert main(["traces", "--output", str(tmp_path)]) == 1
+
+
+def test_verify_command(tmp_path, capsys):
+    from repro.core.config import ExperimentConfig
+    from repro.core.experiment import Experiment
+    from repro.core.provenance import capture
+
+    cfg = ExperimentConfig(output_dir=tmp_path, scale=8, n_roots=2,
+                           systems=("gap",), algorithms=("bfs",))
+    Experiment(cfg).run_all()
+    capture(cfg)
+    assert main(["verify", "--output", str(tmp_path)]) == 0
+    assert "verified" in capsys.readouterr().out
+    (tmp_path / "results.csv").write_text("tampered\n")
+    assert main(["verify", "--output", str(tmp_path)]) == 1
+
+
+def test_reproduce_command(tmp_path, capsys):
+    assert main(["reproduce", "--output", str(tmp_path), "--scale", "8",
+                 "--roots", "2", "--no-svg"]) == 0
+    out = capsys.readouterr().out
+    assert "REPORT.md" in out
+    assert (tmp_path / "REPORT.md").exists()

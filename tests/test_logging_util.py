@@ -1,0 +1,55 @@
+"""Tests for the harness logging helpers."""
+
+import logging
+
+import pytest
+
+from repro.logging_util import enable_console_logging, get_logger, phase_timer
+
+
+def test_namespaced_logger():
+    assert get_logger().name == "repro"
+    assert get_logger("repro.pipeline").name == "repro.pipeline"
+
+
+def test_phase_timer_logs_duration(caplog):
+    with caplog.at_level(logging.INFO, logger="repro.pipeline"):
+        with phase_timer("parse"):
+            pass
+    assert "parse: starting" in caplog.text
+    assert "parse: done in" in caplog.text
+
+
+def test_phase_timer_logs_failure(caplog):
+    with caplog.at_level(logging.ERROR, logger="repro.pipeline"):
+        with pytest.raises(RuntimeError):
+            with phase_timer("run"):
+                raise RuntimeError("boom")
+    assert "run: failed" in caplog.text
+
+
+def test_enable_console_logging_idempotent():
+    logger = get_logger()
+    before = list(logger.handlers)
+    enable_console_logging()
+    enable_console_logging()
+    stream_handlers = [h for h in logger.handlers
+                       if isinstance(h, logging.StreamHandler)]
+    assert len(stream_handlers) == max(1, len(
+        [h for h in before if isinstance(h, logging.StreamHandler)]))
+    # Clean up for other tests.
+    for h in logger.handlers[:]:
+        if h not in before:
+            logger.removeHandler(h)
+    logger.setLevel(logging.NOTSET)
+
+
+def test_cli_verbose_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    main(["--verbose", "setup", "--output", str(tmp_path)])
+    # Cleanup the handler the flag installed.
+    logger = get_logger()
+    for h in logger.handlers[:]:
+        logger.removeHandler(h)
+    logger.setLevel(logging.NOTSET)

@@ -1,0 +1,291 @@
+"""Integration: the qualitative claims of the paper's Sec. IV, checked
+end-to-end through the full pipeline at reduced scale.
+
+Each test names the paper statement it pins down.  Absolute numbers are
+scale-dependent; orderings, ratios, and crossovers are what we assert
+(see EXPERIMENTS.md for the quantitative ledger).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+
+@pytest.fixture(scope="module")
+def kron_analysis(tmp_path_factory):
+    """Figs 2-4, 9 workload: Kronecker graph, 32 threads."""
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp("kron"),
+        dataset="kronecker", scale=12, n_roots=8,
+        algorithms=("bfs", "sssp", "pagerank"))
+    return Experiment(cfg).run_all()
+
+
+@pytest.fixture(scope="module")
+def scaling_analysis(tmp_path_factory):
+    """Figs 5-6 workload: thread sweep, few trials (paper Sec. IV-B).
+
+    The paper uses scale 23 here precisely because per-invocation fixed
+    costs distort scaling curves on small graphs; scale 15 is the
+    smallest size at which the paper's curve shapes are stable."""
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp("scal"),
+        dataset="kronecker", scale=15, n_roots=3, n_trials=1,
+        algorithms=("bfs",),
+        thread_counts=(1, 2, 4, 8, 16, 32, 64, 72))
+    return Experiment(cfg).run_all()
+
+
+@pytest.fixture(scope="module")
+def realworld_analyses(tmp_path_factory):
+    """Fig 8 workload: both real-world stand-ins."""
+    out = {}
+    for ds in ("dota-league", "cit-patents"):
+        cfg = ExperimentConfig(
+            output_dir=tmp_path_factory.mktemp(ds),
+            dataset=ds, n_roots=6,
+            algorithms=("bfs", "sssp", "pagerank"))
+        out[ds] = Experiment(cfg).run_all()
+    return out
+
+
+class TestFig2Bfs:
+    def test_gap_is_the_clear_winner(self, kron_analysis):
+        """Sec. IV-A: 'GAP is the clear winner in both cases.'"""
+        box = kron_analysis.box("time")
+        times = {k[0]: v.median for k, v in box.items() if k[1] == "bfs"}
+        assert times["gap"] == min(times.values())
+
+    def test_framework_systems_orders_of_magnitude_slower(
+            self, kron_analysis):
+        """Fig 2's y-axis spans 0.01-2 s: GraphBIG/GraphMat sit far
+        above the two reference codes."""
+        box = kron_analysis.box("time")
+        times = {k[0]: v.median for k, v in box.items() if k[1] == "bfs"}
+        assert times["graphbig"] > 10 * times["gap"]
+        assert times["graphmat"] > 5 * times["gap"]
+
+    def test_graphmat_comparable_to_graphbig_bfs(self, kron_analysis):
+        """Table III: GraphMat 1.424 s vs GraphBIG 1.600 s -- close,
+        with GraphMat at or below GraphBIG within a small margin (at
+        reduced scale the two frameworks' fixed costs overlap)."""
+        box = kron_analysis.box("time")
+        times = {k[0]: v.median for k, v in box.items() if k[1] == "bfs"}
+        assert times["graphmat"] < 1.15 * times["graphbig"]
+
+    def test_construction_consistent_between_bfs_and_sssp(
+            self, kron_analysis):
+        """Sec. IV-A: GAP/GraphMat construction times are consistent
+        across the two algorithms ('the platforms create the same data
+        structure for both')."""
+        builds = kron_analysis.construction_box()
+        for system in ("gap", "graphmat"):
+            b = builds[(system, "bfs")].median
+            s = builds[(system, "sssp")].median
+            assert b == pytest.approx(s, rel=0.15)
+
+
+class TestFig3Sssp:
+    def test_gap_wins_sssp(self, kron_analysis):
+        box = kron_analysis.box("time")
+        times = {k[0]: v.median for k, v in box.items() if k[1] == "sssp"}
+        assert times["gap"] == min(times.values())
+
+    def test_powergraph_slowest_sssp(self, kron_analysis):
+        box = kron_analysis.box("time")
+        times = {k[0]: v.median for k, v in box.items() if k[1] == "sssp"}
+        assert times["powergraph"] == max(times.values())
+
+    def test_no_graph500_sssp(self, kron_analysis):
+        box = kron_analysis.box("time")
+        assert ("graph500", "sssp", "kron-scale12", 32) not in box
+
+
+class TestFig4Pagerank:
+    def test_gap_fastest_and_fewest_iterations(self, kron_analysis):
+        box = kron_analysis.box("time")
+        times = {k[0]: v.median for k, v in box.items()
+                 if k[1] == "pagerank"}
+        iters = kron_analysis.iterations("pagerank")
+        assert times["gap"] == min(times.values())
+        assert iters["gap"] == min(iters.values())
+
+    def test_graphmat_most_iterations(self, kron_analysis):
+        """Fig 4: the no-change criterion costs GraphMat the most
+        sweeps."""
+        iters = kron_analysis.iterations("pagerank")
+        assert iters["graphmat"] == max(iters.values())
+
+    def test_pagerank_rsd_below_sssp_rsd(self, kron_analysis):
+        """Sec. IV-A: 'Each platform in Fig 4 has a relative standard
+        deviation between 1/4 and 1/2 that of the same system executing
+        SSSP.'  We assert the direction (PR steadier than SSSP) for the
+        systems running both."""
+        box = kron_analysis.box("time")
+        # PowerGraph excluded: its times are engine-startup dominated,
+        # compressing both RSDs below the noise floor.
+        for system in ("gap", "graphbig", "graphmat"):
+            pr = box[(system, "pagerank", "kron-scale12", 32)].rsd
+            ss = box[(system, "sssp", "kron-scale12", 32)].rsd
+            assert pr < ss, system
+
+
+class TestFig5Fig6Scalability:
+    """Claims checked at the paper's own operating point (scale 23) via
+    the calibrated projection (see repro.core.projection), plus
+    small-scale real-kernel sanity checks."""
+
+    @pytest.fixture(scope="class")
+    def projections(self):
+        from repro.core.projection import projected_scalability
+
+        return {s: projected_scalability(s)
+                for s in ("gap", "graph500", "graphbig", "graphmat")}
+
+    def test_graph500_dips_below_one_at_two_threads(self, projections):
+        """Fig 6: 'Graph500 dips below 1 because it is slower for 2
+        threads than for 1.'"""
+        tab = projections["graph500"]
+        speedup = dict(zip(tab.threads, tab.speedup()))
+        assert speedup[2] < 1.0
+        assert speedup[8] > 1.0   # and recovers
+        # No other system dips.
+        for other in ("gap", "graphbig", "graphmat"):
+            assert dict(zip(projections[other].threads,
+                            projections[other].speedup()))[2] > 1.0
+
+    def test_gap_most_scalable_through_32(self, projections):
+        """Sec. IV-B: 'Overall, GAP is the most scalable.'"""
+        sp = {s: dict(zip(t.threads, t.speedup()))
+              for s, t in projections.items()}
+        for n in (8, 16, 32):
+            assert sp["gap"][n] == max(v[n] for v in sp.values()), n
+
+    def test_graphbig_flattest(self, projections):
+        sp = {s: dict(zip(t.threads, t.speedup()))
+              for s, t in projections.items()}
+        for n in (16, 32, 64, 72):
+            assert sp["graphbig"][n] == min(v[n] for v in sp.values()), n
+
+    def test_graphmat_overtakes_gap_at_72(self, projections):
+        """Sec. IV-B: 'GraphMat close behind for larger threads and even
+        slightly beating GAP at 72 threads.'"""
+        sp_gap = dict(zip(projections["gap"].threads,
+                          projections["gap"].speedup()))
+        sp_gm = dict(zip(projections["graphmat"].threads,
+                         projections["graphmat"].speedup()))
+        assert sp_gm[72] > sp_gap[72]
+        assert sp_gm[72] < 1.15 * sp_gap[72]   # "slightly"
+        assert sp_gap[32] > sp_gm[32]          # GAP ahead earlier
+
+    def test_poor_strong_scaling_overall(self, projections):
+        """Sec. IV-B: 'generally poor scaling for this size problem.'"""
+        for system, tab in projections.items():
+            eff = dict(zip(tab.threads, tab.efficiency()))
+            assert eff[64] < 0.5, system
+
+    def test_real_kernels_scale_monotonically_to_32(self,
+                                                    scaling_analysis):
+        """Real-kernel sanity at bench scale: adding threads up to 32
+        never slows the non-contended systems down."""
+        for system in ("gap", "graphbig", "graphmat"):
+            tab = scaling_analysis.scalability(system, "bfs")
+            times = dict(zip(tab.threads, tab.mean_times))
+            assert times[32] < times[1]
+
+    def test_real_kernel_graph500_dip(self, scaling_analysis):
+        """The contention dip also shows up in the real-kernel run."""
+        tab = scaling_analysis.scalability("graph500", "bfs")
+        speedup = dict(zip(tab.threads, tab.speedup()))
+        assert speedup[2] < 1.0
+
+
+class TestFig8RealWorld:
+    def test_no_powergraph_bfs(self, realworld_analyses):
+        a = realworld_analyses["dota-league"]
+        assert not any(k[0] == "powergraph" and k[1] == "bfs"
+                       for k in a.box("time"))
+
+    def test_density_amortizes_graphbig_overhead(self, realworld_analyses):
+        """Sec. IV-C: GraphBIG is strongest on the dense dota-league BFS
+        (in the paper it even beats GAP).  The mechanism we model is
+        per-visit property overhead amortizing over degree: GraphBIG's
+        *per-edge* BFS cost must be substantially lower on dota-league
+        than on cit-Patents.  (The absolute GraphBIG-beats-GAP cell is a
+        documented deviation: our GAP's direction-optimization also
+        thrives on density; see EXPERIMENTS.md.)
+        """
+        from repro.datasets.realworld import cit_patents, dota_league
+
+        dota = realworld_analyses["dota-league"]
+        pat = realworld_analyses["cit-patents"]
+        m_dota = 2 * dota_league().n_edges      # undirected -> arcs
+        m_pat = cit_patents().n_edges
+        per_edge_dota = dota.median_time("graphbig", "bfs") / m_dota
+        per_edge_pat = pat.median_time("graphbig", "bfs") / m_pat
+        assert per_edge_dota < 0.6 * per_edge_pat
+
+    def test_graphbig_slowest_pagerank(self, realworld_analyses):
+        """Sec. IV-C: GraphBIG 'is by far the slowest for PageRank'
+        among the shared-memory frameworks (PowerGraph's constant is
+        engine startup, not PageRank)."""
+        a = realworld_analyses["dota-league"]
+        box = a.box("time")
+        times = {k[0]: v.median for k, v in box.items()
+                 if k[1] == "pagerank"}
+        assert times["graphbig"] > times["gap"]
+        assert times["graphbig"] > times["graphmat"]
+
+    def test_powergraph_sssp_better_on_denser_dota(self,
+                                                   realworld_analyses):
+        """Sec. IV-C: 'PowerGraph is faster for SSSP [on dota-league]'
+        -- its vertex cut likes dense hubs; compare its kernel work per
+        edge across the datasets."""
+        dota = realworld_analyses["dota-league"]
+        pat = realworld_analyses["cit-patents"]
+        t_dota = dota.mean_time("powergraph", "sssp")
+        t_pat = pat.mean_time("powergraph", "sssp")
+        # Startup dominates both; compare above-startup work normalized
+        # by edge count (dota has ~4x the edges here).
+        assert (t_dota - 0.9) / (t_pat - 0.9) < 8.0
+
+
+class TestTable3AndFig9Power:
+    def test_cpu_power_ordering(self, kron_analysis):
+        """Table III: Graph500 hottest, GraphMat coolest."""
+        power = kron_analysis.power_box("pkg_watts", "bfs")
+        means = {s: b.mean for s, b in power.items()}
+        assert means["graph500"] == max(means.values())
+        assert means["graphmat"] == min(means.values())
+
+    def test_cpu_power_near_table3_anchors(self, kron_analysis):
+        power = kron_analysis.power_box("pkg_watts", "bfs")
+        anchors = {"gap": 72.38, "graph500": 97.17, "graphbig": 78.01,
+                   "graphmat": 70.12}
+        for system, want in anchors.items():
+            assert power[system].mean == pytest.approx(want, rel=0.05)
+
+    def test_dram_power_band_and_graphmat_lowest(self, kron_analysis):
+        """Fig 9 left: 10-20 W band, GraphMat lowest."""
+        power = kron_analysis.power_box("dram_watts", "bfs")
+        for b in power.values():
+            assert 9.0 < b.mean < 22.0
+        means = {s: b.mean for s, b in power.items()}
+        assert means["graphmat"] == min(means.values())
+
+    def test_fastest_is_most_energy_efficient(self, kron_analysis):
+        """Sec. IV-D: 'In our case, the fastest code is also the most
+        energy efficient.'"""
+        table = kron_analysis.energy_table("bfs", threads=32)
+        energies = {s: r.pkg_energy_j for s, r in table.items()}
+        times = {s: r.time_s for s, r in table.items()}
+        fastest = min(times, key=times.get)
+        assert min(energies, key=energies.get) == fastest
+
+    def test_increase_over_sleep_in_paper_band(self, kron_analysis):
+        """Table III bottom row: 2.8x - 3.9x over the sleep baseline."""
+        table = kron_analysis.energy_table("bfs", threads=32)
+        for system, rep in table.items():
+            assert 2.0 < rep.increase_over_sleep < 5.0, system

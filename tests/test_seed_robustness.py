@@ -1,0 +1,49 @@
+"""Seed robustness: the paper's qualitative conclusions must not be a
+lottery of the default seed.
+
+Runs the headline orderings across several experiment seeds (different
+Kronecker graphs, different roots, different measurement noise) and
+requires them to hold in every draw.
+"""
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+
+SEEDS = (1, 97, 20170402)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_analysis(request, tmp_path_factory):
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp(f"seed{request.param}"),
+        dataset="kronecker", scale=10, n_roots=6, seed=request.param,
+        algorithms=("bfs", "sssp", "pagerank"))
+    return Experiment(cfg).run_all()
+
+
+def test_gap_wins_bfs_every_seed(seeded_analysis):
+    box = seeded_analysis.box("time")
+    times = {k[0]: v.median for k, v in box.items() if k[1] == "bfs"}
+    assert times["gap"] == min(times.values())
+
+
+def test_gap_wins_sssp_every_seed(seeded_analysis):
+    box = seeded_analysis.box("time")
+    times = {k[0]: v.median for k, v in box.items() if k[1] == "sssp"}
+    assert times["gap"] == min(times.values())
+    assert times["powergraph"] == max(times.values())
+
+
+def test_iteration_ordering_every_seed(seeded_analysis):
+    iters = seeded_analysis.iterations("pagerank")
+    assert iters["gap"] == min(iters.values())
+    assert iters["graphmat"] == max(iters.values())
+
+
+def test_power_identity_every_seed(seeded_analysis):
+    power = seeded_analysis.power_box("pkg_watts", "bfs")
+    means = {s: b.mean for s, b in power.items()}
+    assert means["graph500"] == max(means.values())
+    assert means["graphmat"] == min(means.values())

@@ -1,0 +1,102 @@
+"""Tests for the chart primitives."""
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.core.analysis import BoxStats
+from repro.viz.charts import bar_chart, box_plot, line_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _root(canvas):
+    return ElementTree.fromstring(canvas.to_string())
+
+
+@pytest.fixture
+def boxes():
+    return {
+        "gap": BoxStats.from_values([0.01, 0.012, 0.015, 0.02]),
+        "graph500": BoxStats.from_values([0.019]),
+        "graphbig": BoxStats.from_values([1.5, 1.6, 1.7]),
+    }
+
+
+class TestBoxPlot:
+    def test_one_box_per_group(self, boxes):
+        root = _root(box_plot(boxes, "T"))
+        # background + frame + 3 boxes = 5 rects.
+        assert len(root.findall(f"{SVG_NS}rect")) == 5
+
+    def test_single_point_marked_with_dot(self, boxes):
+        root = _root(box_plot(boxes, "T"))
+        assert len(root.findall(f"{SVG_NS}circle")) == 1
+
+    def test_labels_present(self, boxes):
+        root = _root(box_plot(boxes, "BFS Time"))
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "BFS Time" in texts
+        for name in boxes:
+            assert name in texts
+
+    def test_baseline_line(self, boxes):
+        root = _root(box_plot(boxes, "T", log_y=False, baseline=0.005,
+                              baseline_label="sleep"))
+        dashed = [ln for ln in root.findall(f"{SVG_NS}line")
+                  if ln.get("stroke-dasharray")]
+        assert dashed
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "sleep" in texts
+
+    def test_log_axis_positive_guard(self):
+        bad = {"x": BoxStats.from_values([0.0, 0.0])}
+        with pytest.raises(ValueError):
+            box_plot(bad, "T", log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_plot({}, "T")
+
+
+class TestLineChart:
+    def test_one_polyline_per_series(self):
+        c = line_chart([1, 2, 4], {"a": [1, 2, 3], "b": [1, 1.5, 2]},
+                       "S", "x", "y")
+        root = _root(c)
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+
+    def test_ideal_line_added(self):
+        c = line_chart([1, 2, 4], {"a": [1, 2, 3]}, "S", "x", "y",
+                       ideal=[1, 2, 4])
+        root = _root(c)
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "ideal" in texts
+
+    def test_marker_per_point(self):
+        c = line_chart([1, 2, 4], {"a": [1, 2, 3]}, "S", "x", "y")
+        assert len(_root(c).findall(f"{SVG_NS}circle")) == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1.0]}, "S", "x", "y")
+
+    def test_loglog_axes(self):
+        c = line_chart([1, 2, 72], {"a": [1.0, 1.9, 20.0]}, "S",
+                       "threads", "speedup", log_x=True, log_y=True)
+        _root(c)  # well-formed
+
+
+class TestBarChart:
+    def test_bars_and_none_skipping(self):
+        c = bar_chart(["dota", "patents"],
+                      {"gap": [0.1, 0.2], "powergraph": [None, 0.9]},
+                      "B", "time")
+        root = _root(c)
+        # background + frame + legend(2) + bars(3) = 7 rects.
+        assert len(root.findall(f"{SVG_NS}rect")) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], {}, "B", "y")

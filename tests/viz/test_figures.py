@@ -1,0 +1,71 @@
+"""Tests for the per-figure SVG renderers (end-to-end over a real
+pipeline run)."""
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.errors import ConfigError
+from repro.viz import render_all_figures, render_figure
+
+
+@pytest.fixture(scope="module")
+def analysis(tmp_path_factory):
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp("viz"),
+        dataset="kronecker", scale=9, n_roots=4,
+        algorithms=("bfs", "sssp", "pagerank"))
+    return Experiment(cfg).run_all()
+
+
+@pytest.fixture(scope="module")
+def sweep_analysis(tmp_path_factory):
+    cfg = ExperimentConfig(
+        output_dir=tmp_path_factory.mktemp("viz-sweep"),
+        dataset="kronecker", scale=9, n_roots=2,
+        algorithms=("bfs",), systems=("gap", "graphmat"),
+        thread_counts=(1, 4, 16))
+    return Experiment(cfg).run_all()
+
+
+def _assert_svg(path):
+    root = ElementTree.parse(path).getroot()
+    assert root.tag.endswith("svg")
+
+
+@pytest.mark.parametrize("figure,n_files", [
+    ("fig2", 2), ("fig3", 2), ("fig4", 2), ("fig9", 2),
+])
+def test_single_threadcount_figures(analysis, figure, n_files, tmp_path):
+    paths = render_figure(analysis, figure, tmp_path)
+    assert len(paths) == n_files
+    for p in paths:
+        _assert_svg(p)
+
+
+def test_fig5_fig6_need_thread_sweep(analysis, sweep_analysis, tmp_path):
+    with pytest.raises(ConfigError):
+        render_figure(analysis, "fig5", tmp_path)
+    for figure in ("fig5", "fig6"):
+        paths = render_figure(sweep_analysis, figure, tmp_path)
+        assert len(paths) == 1
+        _assert_svg(paths[0])
+
+
+def test_render_all_skips_unsupported(analysis, tmp_path):
+    out = render_all_figures(analysis, tmp_path)
+    assert "fig2" in out and "fig9" in out
+    assert "fig5" not in out  # no thread sweep in this record set
+
+
+def test_unknown_figure(analysis, tmp_path):
+    with pytest.raises(ConfigError):
+        render_figure(analysis, "fig99", tmp_path)
+
+
+def test_fig9_has_sleep_baseline(analysis, tmp_path):
+    paths = render_figure(analysis, "fig9", tmp_path)
+    body = paths[0].read_text()
+    assert "sleep" in body

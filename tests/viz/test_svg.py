@@ -1,0 +1,77 @@
+"""Tests for the SVG writer and tick helpers."""
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.viz.svg import SvgCanvas, log_ticks, nice_ticks
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(canvas: SvgCanvas):
+    return ElementTree.fromstring(canvas.to_string())
+
+
+class TestCanvas:
+    def test_well_formed_document(self):
+        c = SvgCanvas(100, 80)
+        c.rect(1, 2, 3, 4).line(0, 0, 10, 10).circle(5, 5, 2)
+        c.polyline([(0, 0), (1, 1)]).text(10, 10, "hi")
+        root = _parse(c)
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "100"
+
+    def test_background_rect(self):
+        root = _parse(SvgCanvas(10, 10, background="white"))
+        rects = root.findall(f"{SVG_NS}rect")
+        assert rects and rects[0].get("fill") == "white"
+
+    def test_no_background(self):
+        root = _parse(SvgCanvas(10, 10, background=""))
+        assert not root.findall(f"{SVG_NS}rect")
+
+    def test_text_escaped(self):
+        c = SvgCanvas(50, 50)
+        c.text(0, 0, "<dota & friends>")
+        root = _parse(c)
+        assert root.find(f"{SVG_NS}text").text == "<dota & friends>"
+
+    def test_rotation_transform(self):
+        c = SvgCanvas(50, 50)
+        c.text(10, 20, "y", rotate=-90)
+        root = _parse(c)
+        assert "rotate(-90 10 20)" in root.find(
+            f"{SVG_NS}text").get("transform")
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(-1, 10)
+
+    def test_write(self, tmp_path):
+        p = SvgCanvas(10, 10).write(tmp_path / "x.svg")
+        ElementTree.parse(p)
+
+
+class TestTicks:
+    def test_nice_ticks_cover_range(self):
+        ticks = nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0
+        assert len(ticks) >= 3
+
+    def test_nice_ticks_round_values(self):
+        for t in nice_ticks(0, 97):
+            assert t == round(t, 6)
+
+    def test_nice_ticks_degenerate_range(self):
+        assert nice_ticks(5.0, 5.0)  # does not crash
+
+    def test_log_ticks_decades(self):
+        assert log_ticks(0.01, 100.0) == [0.01, 0.1, 1.0, 10.0, 100.0]
+
+    def test_log_ticks_positive_only(self):
+        with pytest.raises(ValueError):
+            log_ticks(0.0, 1.0)
+
+    def test_log_ticks_narrow_range(self):
+        assert log_ticks(2.0, 5.0)  # no decade inside: fallback
