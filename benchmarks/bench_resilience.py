@@ -1,0 +1,41 @@
+"""Resilience gate: the full suite survives injected faults.
+
+A scale-10 paper suite runs with a permanent crash fault on the GAP
+BFS 32-thread cell and one retry budget.  The gate asserts the run
+completes degraded -- no unhandled exception, the quarantined cell is
+ledgered in REPORT.md's "Failures and retries" section -- and writes
+the rendered section as a benchmark artifact.
+"""
+
+from conftest import write_artifact
+
+from repro.core.suite import run_paper_suite
+from repro.resilience import SuiteCheckpoint
+
+GATE_SCALE = 10
+GATE_ROOTS = 2
+FAULT_SPEC = "gap/bfs/t32:crash"
+
+
+def test_resilience_gate(benchmark, tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench-resilience")
+    report = benchmark.pedantic(
+        run_paper_suite, args=(out,),
+        kwargs=dict(scale=GATE_SCALE, n_roots=GATE_ROOTS,
+                    render_svg=False, fault_spec=FAULT_SPEC,
+                    max_retries=1),
+        rounds=1, iterations=1)
+
+    text = report.read_text(encoding="utf-8")
+    assert "## Failures and retries" in text
+    assert "gap/bfs/t32" in text and "quarantined" in text
+
+    quarantined = SuiteCheckpoint.scan_quarantined(out)
+    assert any("gap/bfs/t32" in q for q in quarantined)
+
+    section = text[text.index("## Failures and retries"):]
+    ledger = section.split("\n## ")[0].rstrip()
+    write_artifact("resilience_gate.txt",
+                   f"fault_spec: {FAULT_SPEC}\n"
+                   f"quarantined: {', '.join(quarantined)}\n\n{ledger}")
+    print("\n" + ledger)

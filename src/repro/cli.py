@@ -22,11 +22,39 @@ from pathlib import Path
 
 from repro.core.config import ExperimentConfig
 from repro.core.experiment import Experiment
+from repro.errors import (
+    CellQuarantinedError,
+    CellTimeoutError,
+    CheckpointError,
+    ConfigError,
+    DatasetError,
+    GraphFormatError,
+    LogParseError,
+    PowerMeasurementError,
+    ReproError,
+    SystemCapabilityError,
+    ValidationError,
+)
 from repro.systems.registry import ALL_SYSTEM_NAMES, available_systems
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CODES"]
 
 _FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9")
+
+#: One distinct non-zero exit code per ReproError subclass, so shell
+#: wrappers (the paper's natural habitat) can branch on failure kind.
+EXIT_CODES: dict[type, int] = {
+    ConfigError: 2,
+    DatasetError: 3,
+    SystemCapabilityError: 4,
+    LogParseError: 5,
+    ValidationError: 6,
+    PowerMeasurementError: 7,
+    CellTimeoutError: 8,
+    CellQuarantinedError: 9,
+    CheckpointError: 10,
+    GraphFormatError: 11,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--trials", type=int, default=1)
         sp.add_argument("--threads", type=int, nargs="+", default=[32])
         sp.add_argument("--seed", type=int, default=20170402)
+        sp.add_argument("--max-retries", type=int, default=2,
+                        help="retries per cell before quarantine")
+        sp.add_argument("--cell-timeout", type=float, default=None,
+                        help="per-attempt deadline in simulated seconds")
+        sp.add_argument("--fault-spec", default=None,
+                        help="inject deterministic faults, e.g. "
+                             "'gap/bfs/t32:crash:2' (testing)")
 
     for name, help_ in (
             ("setup", "phase 1: verify systems, persist config"),
@@ -106,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--roots", type=int, default=8)
     sp.add_argument("--seed", type=int, default=20170402)
     sp.add_argument("--no-svg", action="store_true")
+    sp.add_argument("--resume", action="store_true",
+                    help="keep checkpoints: skip already-completed cells")
+    sp.add_argument("--max-retries", type=int, default=2)
+    sp.add_argument("--cell-timeout", type=float, default=None)
+    sp.add_argument("--fault-spec", default=None)
+
+    sp = sub.add_parser(
+        "resume",
+        help="continue an interrupted 'epg reproduce' from its "
+             "checkpoints")
+    sp.add_argument("output", type=Path,
+                    help="the interrupted suite's output directory")
 
     sp = sub.add_parser(
         "verify", help="check an experiment dir against provenance.json")
@@ -133,10 +180,38 @@ def _config_from_args(args) -> ExperimentConfig:
         n_trials=args.trials,
         thread_counts=tuple(args.threads),
         seed=args.seed,
+        max_retries=args.max_retries,
+        cell_timeout_s=args.cell_timeout,
+        fault_spec=args.fault_spec,
     )
 
 
+def _exit_code(exc: ReproError) -> int:
+    for klass, code in EXIT_CODES.items():
+        if isinstance(exc, klass):
+            return code
+    return 1
+
+
+def _warn_if_degraded(root: Path) -> None:
+    """Exit-0-with-warning path: the suite finished, but degraded."""
+    from repro.resilience import SuiteCheckpoint
+
+    cells = SuiteCheckpoint.scan_quarantined(root)
+    if cells:
+        shown = ", ".join(cells[:8]) + (" ..." if len(cells) > 8 else "")
+        print(f"epg: warning: completed degraded; {len(cells)} "
+              f"quarantined cell(s): {shown}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch, mapping framework errors to exit codes.
+
+    Every :class:`ReproError` becomes a one-line stderr message and a
+    distinct non-zero exit code (see :data:`EXIT_CODES`) instead of a
+    traceback; a suite that completes with quarantined cells exits 0
+    with a degraded-completion warning.
+    """
     args = build_parser().parse_args(argv)
 
     if getattr(args, "verbose", False):
@@ -144,6 +219,14 @@ def main(argv: list[str] | None = None) -> int:
 
         enable_console_logging()
 
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"epg: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return _exit_code(exc)
+
+
+def _dispatch(args) -> int:
     if args.command == "systems":
         for s in available_systems():
             print(s)
@@ -168,8 +251,21 @@ def main(argv: list[str] | None = None) -> int:
 
         report = run_paper_suite(args.output, scale=args.scale,
                                  n_roots=args.roots, seed=args.seed,
-                                 render_svg=not args.no_svg)
+                                 render_svg=not args.no_svg,
+                                 resume=args.resume,
+                                 max_retries=args.max_retries,
+                                 cell_timeout_s=args.cell_timeout,
+                                 fault_spec=args.fault_spec)
         print(f"wrote {report}")
+        _warn_if_degraded(args.output)
+        return 0
+
+    if args.command == "resume":
+        from repro.core.suite import resume_paper_suite
+
+        report = resume_paper_suite(args.output)
+        print(f"wrote {report}")
+        _warn_if_degraded(args.output)
         return 0
 
     if args.command == "compare":
@@ -284,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         paths = exp.run()
         print(f"wrote {len(paths)} log files under "
               f"{config.output_dir / 'logs'}")
+        _warn_if_degraded(config.output_dir)
     elif args.command == "parse":
         csv = exp.parse()
         print(f"wrote {csv}")
@@ -301,6 +398,8 @@ def main(argv: list[str] | None = None) -> int:
                 "Kernel time by (system, algorithm)",
                 {f"{k[0]}/{k[1]}": v
                  for k, v in analysis.box("time").items()}))
+        if args.command == "all":
+            _warn_if_degraded(config.output_dir)
     return 0
 
 

@@ -64,6 +64,15 @@ class ExperimentConfig:
     validate_outputs: bool = False
     #: Trace sample rate in Hz (only used when traces are on).
     trace_sample_hz: float = 100_000.0
+    #: Retries per cell after the first failed attempt; a cell that
+    #: fails ``max_retries + 1`` times is quarantined, not fatal.
+    max_retries: int = 2
+    #: Per-attempt deadline in simulated seconds (None = the
+    #: resilience default); a hung cell is killed at this deadline.
+    cell_timeout_s: float | None = None
+    #: Fault-injection spec (see :mod:`repro.resilience.faults` for the
+    #: grammar); None disables injection.
+    fault_spec: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "output_dir", Path(self.output_dir))
@@ -93,6 +102,14 @@ class ExperimentConfig:
             raise ConfigError("epsilon must be in (0, 1)")
         if self.trace_sample_hz <= 0:
             raise ConfigError("trace_sample_hz must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ConfigError("cell_timeout_s must be positive")
+        if self.fault_spec is not None:
+            from repro.resilience.faults import parse_fault_spec
+
+            parse_fault_spec(self.fault_spec)  # raises ConfigError if bad
 
     # ------------------------------------------------------------------
     @property
@@ -126,4 +143,7 @@ class ExperimentConfig:
             "capture_power_traces": self.capture_power_traces,
             "trace_sample_hz": self.trace_sample_hz,
             "validate_outputs": self.validate_outputs,
+            "max_retries": self.max_retries,
+            "cell_timeout_s": self.cell_timeout_s,
+            "fault_spec": self.fault_spec,
         }

@@ -12,7 +12,6 @@ one method, and :meth:`Experiment.run_all` chains them:
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.core.config import ExperimentConfig
@@ -28,9 +27,18 @@ from repro.datasets.realworld import (
     dota_league,
 )
 from repro.datasets.snap import read_snap
-from repro.errors import ConfigError
+from repro.errors import ConfigError, LogParseError
 from repro.graph.edgelist import EdgeList
+from repro.ioutil import atomic_write_json
 from repro.logging_util import get_logger, phase_timer
+from repro.resilience import (
+    CellOutcome,
+    CellSupervisor,
+    FaultInjector,
+    RetryPolicy,
+    SuiteCheckpoint,
+    cell_id,
+)
 from repro.systems.registry import available_systems
 
 __all__ = ["Experiment"]
@@ -43,6 +51,12 @@ class Experiment:
         self.config = config
         self.dataset: HomogenizedDataset | None = None
         self.records: list[Record] | None = None
+        #: Terminal outcome of every cell the last run() saw, in visit
+        #: order (loaded-from-checkpoint cells included, so a resumed
+        #: run reports identically to an uninterrupted one).
+        self.cell_outcomes: list[CellOutcome] = []
+        #: Unparseable log files the last parse() salvaged around.
+        self.parse_problems: list[LogParseError] = []
         self._log = get_logger("repro.pipeline")
 
     # ------------------------------------------------------------------
@@ -56,8 +70,7 @@ class Experiment:
             raise ConfigError(f"systems not installed: {missing}")
         out = self.config.output_dir
         out.mkdir(parents=True, exist_ok=True)
-        (out / "config.json").write_text(
-            json.dumps(self.config.to_dict(), indent=2), encoding="utf-8")
+        atomic_write_json(out / "config.json", self.config.to_dict())
         return list(self.config.systems)
 
     # ------------------------------------------------------------------
@@ -93,34 +106,71 @@ class Experiment:
     # Phase 3
     # ------------------------------------------------------------------
     def run(self) -> list[Path]:
-        """Phase 3: execute every requested cell; return log paths."""
+        """Phase 3: execute every requested cell; return log paths.
+
+        Every cell runs under a :class:`CellSupervisor` (retry /
+        backoff / quarantine) and its terminal outcome is recorded in
+        the experiment's atomic ``checkpoint.json``: a rerun of the
+        same configuration skips completed cells entirely, which is
+        what makes ``epg resume`` (and plain rerun-after-crash) cheap
+        and byte-identical.
+        """
         if self.dataset is None:
             self.homogenize()
         runner = Runner(self.config, self.dataset)
+        checkpoint = SuiteCheckpoint.load_or_create(
+            self.config.output_dir, self.config)
+        injector = (FaultInjector(self.config.seed, self.config.fault_spec)
+                    if self.config.fault_spec else None)
+        supervisor = CellSupervisor(
+            runner, RetryPolicy.from_config(self.config),
+            injector=injector)
+        self.cell_outcomes = []
         paths: list[Path] = []
         with phase_timer("run", self._log):
             for n_threads in self.config.thread_counts:
                 for system in self.config.systems:
                     for algorithm in self.config.algorithms:
-                        p = runner.run_system_algorithm(
-                            system, algorithm, n_threads)
-                        if p is None:
-                            self._log.debug(
-                                "skipped %s/%s (t=%d): not supported",
+                        cid = cell_id(system, algorithm, n_threads)
+                        outcome = checkpoint.get(cid)
+                        if outcome is None:
+                            outcome = supervisor.run_cell(
                                 system, algorithm, n_threads)
+                            checkpoint.record(outcome)
                         else:
+                            self._log.debug("checkpoint: %s already %s",
+                                            cid, outcome.status)
+                        self.cell_outcomes.append(outcome)
+                        if outcome.status == "completed":
+                            p = self.config.output_dir / outcome.log
                             self._log.info("ran %s/%s (t=%d) -> %s",
                                            system, algorithm,
                                            n_threads, p.name)
                             paths.append(p)
+                        elif outcome.status == "unsupported":
+                            self._log.debug(
+                                "skipped %s/%s (t=%d): not supported",
+                                system, algorithm, n_threads)
+                        else:
+                            self._log.warning(
+                                "quarantined %s after %d attempt(s)",
+                                cid, len(outcome.attempts))
         return paths
+
+    @property
+    def quarantined(self) -> list[CellOutcome]:
+        """Cells the last run() left quarantined."""
+        return [o for o in self.cell_outcomes
+                if o.status == "quarantined"]
 
     # ------------------------------------------------------------------
     # Phase 4
     # ------------------------------------------------------------------
     def parse(self) -> Path:
-        """Phase 4: logs -> results.csv."""
-        records = parse_all_logs(self.config.output_dir / "logs")
+        """Phase 4: logs -> results.csv (salvaging damaged logs)."""
+        self.parse_problems = []
+        records = parse_all_logs(self.config.output_dir / "logs",
+                                 problems=self.parse_problems)
         self.records = records
         csv_path = self.config.output_dir / "results.csv"
         with csv_path.open("w", encoding="utf-8") as fh:

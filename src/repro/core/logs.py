@@ -180,14 +180,22 @@ _PG_ITER = re.compile(r"^INFO:  engine iterations: (\d+)$")
 
 
 def parse_log(path: str | Path) -> list[Record]:
-    """Parse one native log file into records."""
+    """Parse one native log file into records.
+
+    Raises :class:`LogParseError` carrying the file, line number, and
+    raw line when the file is unusable.  Undecodable bytes inside an
+    otherwise-valid log (a run killed mid-``fwrite``) are replaced, so
+    the complete lines around the damage still parse.
+    """
     path = Path(path)
-    lines = path.read_text(encoding="utf-8").splitlines()
+    lines = path.read_bytes().decode("utf-8",
+                                     errors="replace").splitlines()
     if not lines:
-        raise LogParseError(f"{path}: empty log")
+        raise LogParseError("empty log", path=path)
     m = _HEADER_RE.match(lines[0])
     if not m:
-        raise LogParseError(f"{path}: missing epg header line")
+        raise LogParseError("missing epg header line", path=path,
+                            line_no=1, line=lines[0])
     ctx = {"system": m.group(1), "dataset": m.group(2),
            "threads": int(m.group(3)), "algorithm": m.group(4)}
     system = ctx["system"]
@@ -195,7 +203,7 @@ def parse_log(path: str | Path) -> list[Record]:
     cur_root = -1
     cur_trial = 0
 
-    for line in lines[1:]:
+    for line_no, line in enumerate(lines[1:], start=2):
         pw = _POWER_RE.match(line)
         if pw:
             kind, nj, dur = pw.group(1), int(pw.group(2)), float(pw.group(3))
@@ -281,7 +289,8 @@ def parse_log(path: str | Path) -> list[Record]:
                                             float(m.group(1)),
                                             cur_root, cur_trial))
         else:
-            raise LogParseError(f"{path}: unknown system {system!r}")
+            raise LogParseError(f"unknown system {system!r}", path=path,
+                                line_no=line_no, line=line)
 
     # Derive GraphMat construction = load - read, per root.
     if system == "graphmat":
@@ -299,13 +308,42 @@ def parse_log(path: str | Path) -> list[Record]:
     return records
 
 
-def parse_all_logs(log_dir: str | Path) -> list[Record]:
-    """Parse every ``*.log`` under ``log_dir`` (phase 4)."""
+def parse_all_logs(log_dir: str | Path, *, salvage: bool = True,
+                   problems: list[LogParseError] | None = None,
+                   ) -> list[Record]:
+    """Parse every ``*.log`` under ``log_dir`` (phase 4).
+
+    With ``salvage`` (the default) a file that cannot be parsed is
+    skipped -- its :class:`LogParseError` (carrying file and line) is
+    appended to ``problems`` and logged -- and every record from the
+    healthy files is still returned: one truncated log must not discard
+    a whole suite's results.  ``salvage=False`` restores fail-fast
+    behaviour.  An empty directory, or a directory where *every* file
+    is damaged, always raises.
+    """
+    from repro.logging_util import get_logger
+
     log_dir = Path(log_dir)
     records: list[Record] = []
     paths = sorted(log_dir.rglob("*.log"))
     if not paths:
-        raise LogParseError(f"{log_dir}: no log files found")
+        raise LogParseError("no log files found", path=log_dir)
+    errors: list[LogParseError] = []
+    parsed_any = False
     for p in paths:
-        records.extend(parse_log(p))
+        try:
+            records.extend(parse_log(p))
+            parsed_any = True
+        except LogParseError as exc:
+            if not salvage:
+                raise
+            errors.append(exc)
+            get_logger("repro.pipeline").warning(
+                "salvage: skipping unparseable log %s", exc)
+    if errors and not parsed_any:
+        raise LogParseError(
+            f"all {len(paths)} log files unparseable; first: {errors[0]}",
+            path=log_dir)
+    if problems is not None:
+        problems.extend(errors)
     return records

@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro.core.config import ExperimentConfig
 from repro.errors import ConfigError
+from repro.ioutil import atomic_write_text
 
 __all__ = ["Provenance", "capture", "verify", "digest_file"]
 
@@ -89,7 +90,7 @@ def capture(config: ExperimentConfig) -> Path:
         },
     )
     path = config.output_dir / "provenance.json"
-    path.write_text(prov.to_json(), encoding="utf-8")
+    atomic_write_text(path, prov.to_json())
     return path
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.core.analysis import Analysis, BoxStats
 
 __all__ = ["format_table", "format_box_table", "format_series",
-           "ascii_box", "figure_series"]
+           "ascii_box", "figure_series", "format_failures_section"]
 
 
 def format_table(title: str, columns: list[str],
@@ -80,6 +80,45 @@ def format_series(title: str, x_label: str, xs: list,
         row = [str(x)] + [f"{series[s][i]:.6g}" for s in series]
         out.append(",".join(row))
     return "\n".join(out)
+
+
+def format_failures_section(outcomes_by_label) -> str:
+    """The report's "Failures and retries" section.
+
+    ``outcomes_by_label`` maps an experiment label (e.g. the suite
+    sub-directory) to its :class:`~repro.resilience.CellOutcome` list.
+    Every cell that was quarantined, or that needed more than one
+    attempt, is listed with its full attempt history and backoff
+    schedule -- the degraded-run ledger the paper keeps implicitly when
+    it reports holes like PowerGraph-without-BFS.
+    """
+    lines = ["## Failures and retries", ""]
+    rows: list[str] = []
+    for label, outcomes in outcomes_by_label.items():
+        for oc in outcomes:
+            failed = oc.failed_attempts
+            if oc.status != "quarantined" and not failed:
+                continue
+            if oc.status == "quarantined":
+                rows.append(f"- `{label}:{oc.cell}` **quarantined** "
+                            f"after {len(oc.attempts)} attempt(s)")
+            else:
+                rows.append(f"- `{label}:{oc.cell}` recovered after "
+                            f"{len(failed)} failed attempt(s) "
+                            f"({len(oc.attempts)} total)")
+            for a in oc.attempts:
+                detail = (f"  - attempt {a.attempt}: {a.status}, "
+                          f"t={a.started_s:.3f}s, "
+                          f"duration {a.duration_s:.3f}s")
+                if a.error:
+                    detail += f" [{a.error}]"
+                if a.backoff_s is not None:
+                    detail += f"; backoff {a.backoff_s:.3f}s"
+                rows.append(detail)
+    if not rows:
+        rows = ["All cells completed on their first attempt; "
+                "no retries were needed."]
+    return "\n".join(lines + rows) + "\n"
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.config import ExperimentConfig
 from repro.core.logs import LogWriter
 from repro.datasets.homogenize import HomogenizedDataset
-from repro.errors import SystemCapabilityError
+from repro.errors import CellTimeoutError, SystemCapabilityError
 from repro.machine.clock import SimulatedClock
 from repro.machine.variance import VarianceModel
 from repro.power.energy import instantaneous_power
@@ -55,6 +55,10 @@ class Runner:
         self.dataset = dataset
         self.variance = VarianceModel(config.seed)
         self._reference_cache: dict = {}
+        #: Simulated seconds the most recent cell (or faulted partial
+        #: cell) consumed; the resilience supervisor prices its attempt
+        #: timeline from this.
+        self.last_cell_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Graph500-style output validation (config.validate_outputs)
@@ -102,9 +106,18 @@ class Runner:
                 f"{algorithm}-t{n_threads}.log")
 
     def run_system_algorithm(self, system_name: str, algorithm: str,
-                             n_threads: int) -> Path | None:
+                             n_threads: int, fault=None) -> Path | None:
         """Run one (system, algorithm, threads) cell; return the log path
-        or ``None`` when the system cannot run this cell."""
+        or ``None`` when the system cannot run this cell.
+
+        ``fault`` is an optional injected :class:`repro.resilience.faults.
+        Fault`: a ``crash`` advances the cell clock partway, leaves a
+        truncated native log behind (the killed process's last write),
+        and raises; a ``hang`` burns the whole deadline and raises
+        :class:`~repro.errors.CellTimeoutError`; a ``corrupt`` lets the
+        cell complete but damages one log line afterwards.
+        """
+        self.last_cell_seconds = 0.0
         system = create_system(system_name, machine=self.config.machine,
                                n_threads=n_threads)
         if not system.supports(algorithm):
@@ -121,6 +134,10 @@ class Runner:
             idle_pkg_watts=self.config.machine.idle_pkg_watts,
             idle_dram_watts=self.config.machine.idle_dram_watts)
 
+        if fault is not None and fault.kind in ("crash", "hang"):
+            self._fail_cell(fault, writer, clock, system_name, algorithm,
+                            n_threads)
+
         if system_name == "graph500":
             self._run_graph500(system, loaded, writer, clock)
         else:
@@ -128,7 +145,31 @@ class Runner:
 
         path = self.log_path(system_name, algorithm, n_threads)
         writer.write(path)
+        if fault is not None and fault.kind == "corrupt":
+            from repro.resilience.faults import corrupt_log
+
+            corrupt_log(path, seed=self.config.seed)
+        self.last_cell_seconds = clock.now
         return path
+
+    def _fail_cell(self, fault, writer: LogWriter, clock: SimulatedClock,
+                   system_name: str, algorithm: str,
+                   n_threads: int) -> None:
+        """Price an injected crash/hang on the cell clock and raise."""
+        from repro.resilience.faults import InjectedCrashError
+
+        cell = f"{system_name}/{algorithm}/t{n_threads}"
+        clock.advance(fault.seconds)
+        self.last_cell_seconds = clock.now
+        if fault.kind == "hang":
+            raise CellTimeoutError(
+                f"{cell}: no output after {fault.seconds:.3g}s "
+                "(injected hang)")
+        # A killed process leaves whatever it had flushed: the header.
+        writer.write(self.log_path(system_name, algorithm, n_threads))
+        raise InjectedCrashError(
+            f"{cell}: killed {fault.seconds:.3g}s into the run "
+            "(injected crash)")
 
     # ------------------------------------------------------------------
     def _roots_and_trials(self, algorithm: str) -> list[tuple[int, int]]:

@@ -7,30 +7,55 @@ Sec. II + IV at a configurable reduced scale and writes one directory:
 
     <out>/
         REPORT.md            every table + figure series, with captions
+        suite.json           the suite's own resume manifest
         figures/*.svg        rendered Figs 2-6, 8, 9
         kron/  dota/  pat/   the underlying EPG* experiment dirs
         scaling/             the Figs 5-6 thread sweep
         graphalytics/        comparator HTML reports (Fig 7)
         kron/provenance.json (and scaling/) digests for re-verification
+        */checkpoint.json    per-experiment cell ledgers (resume state)
 
 This is what ``epg reproduce`` runs, and what EXPERIMENTS.md's numbers
 come from (at the bench scale).
+
+Resilience: every experiment cell runs under the retry/quarantine
+supervisor (:mod:`repro.resilience`), so a crashing or hanging cell
+degrades the report instead of discarding it, and the REPORT.md always
+ends with a "Failures and retries" ledger.  An interrupted invocation
+can be continued with ``run_paper_suite(..., resume=True)`` or
+:func:`resume_paper_suite` (the ``epg resume <dir>`` command): already
+completed cells are skipped and -- the seed fixing everything -- the
+final REPORT.md is byte-identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.core.analysis import Analysis
 from repro.core.config import ExperimentConfig
 from repro.core.experiment import Experiment
 from repro.core.projection import PAPER_SCALING_SCALE, projected_scalability
-from repro.core.report import figure_series, format_series, format_table
+from repro.core.report import (
+    figure_series,
+    format_failures_section,
+    format_series,
+    format_table,
+)
+from repro.errors import CheckpointError, ConfigError
+from repro.ioutil import atomic_write_json
+from repro.resilience import SuiteCheckpoint
 
-__all__ = ["run_paper_suite"]
+__all__ = ["run_paper_suite", "resume_paper_suite", "SUITE_MANIFEST"]
 
 _SCALING_SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
 _THREADS = (1, 2, 4, 8, 16, 32, 64, 72)
+_SUBDIRS = ("kron", "dota", "pat", "scaling")
+
+#: Suite-level manifest: the parameters ``epg resume`` needs to
+#: continue an interrupted invocation with identical settings.
+SUITE_MANIFEST = "suite.json"
 
 
 def _section(title: str, body: str) -> str:
@@ -39,10 +64,29 @@ def _section(title: str, body: str) -> str:
 
 def run_paper_suite(out_dir: str | Path, scale: int = 12,
                     n_roots: int = 8, seed: int = 20170402,
-                    render_svg: bool = True) -> Path:
-    """Run everything; return the REPORT.md path."""
+                    render_svg: bool = True, *, resume: bool = False,
+                    max_retries: int = 2,
+                    cell_timeout_s: float | None = None,
+                    fault_spec: str | None = None) -> Path:
+    """Run everything; return the REPORT.md path.
+
+    ``resume=False`` (the default) starts fresh, clearing any
+    checkpoints a previous invocation left in ``out_dir``;
+    ``resume=True`` keeps them, so only unfinished cells execute.
+    """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    if not resume:
+        for sub in _SUBDIRS:
+            SuiteCheckpoint.clear(out_dir / sub)
+    atomic_write_json(out_dir / SUITE_MANIFEST, {
+        "scale": scale, "n_roots": n_roots, "seed": seed,
+        "render_svg": render_svg, "max_retries": max_retries,
+        "cell_timeout_s": cell_timeout_s, "fault_spec": fault_spec,
+    })
+    resilience = dict(max_retries=max_retries,
+                      cell_timeout_s=cell_timeout_s,
+                      fault_spec=fault_spec)
     sections: list[str] = [
         "# easy-parallel-graph-* full reproduction report",
         f"\nKronecker scale {scale}, {n_roots} roots, seed {seed}; "
@@ -53,8 +97,9 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
     kron_cfg = ExperimentConfig(
         output_dir=out_dir / "kron", dataset="kronecker", scale=scale,
         n_roots=n_roots, seed=seed,
-        algorithms=("bfs", "sssp", "pagerank"))
-    kron = Experiment(kron_cfg).run_all()
+        algorithms=("bfs", "sssp", "pagerank"), **resilience)
+    kron_exp = Experiment(kron_cfg)
+    kron = kron_exp.run_all()
     for fig, caption in (("fig2", "Fig 2: BFS time and construction"),
                          ("fig3", "Fig 3: SSSP time and construction"),
                          ("fig4", "Fig 4: PageRank time / iterations"),
@@ -80,11 +125,15 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
 
     # --- real-world experiments (Fig 8) -------------------------------
     rw_records = []
+    rw_exps: dict[str, Experiment] = {}
     for ds, sub in (("dota-league", "dota"), ("cit-patents", "pat")):
         cfg = ExperimentConfig(
             output_dir=out_dir / sub, dataset=ds, n_roots=n_roots,
-            seed=seed, algorithms=("bfs", "sssp", "pagerank"))
-        rw_records.extend(Experiment(cfg).run_all().records)
+            seed=seed, algorithms=("bfs", "sssp", "pagerank"),
+            **resilience)
+        exp = Experiment(cfg)
+        rw_records.extend(exp.run_all().records)
+        rw_exps[sub] = exp
     merged = Analysis(rw_records, machine=kron_cfg.machine)
     sections.append(_section("Fig 8: real-world comparison",
                              figure_series(merged, "fig8")))
@@ -104,13 +153,20 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
     scaling_cfg = ExperimentConfig(
         output_dir=out_dir / "scaling", dataset="kronecker",
         scale=scale, n_roots=min(n_roots, 4), seed=seed,
-        algorithms=("bfs",), thread_counts=_THREADS)
-    scaling = Experiment(scaling_cfg).run_all()
+        algorithms=("bfs",), thread_counts=_THREADS, **resilience)
+    scaling_exp = Experiment(scaling_cfg)
+    scaling = scaling_exp.run_all()
+    # Quarantined cells degrade a system's curve to absence, the way
+    # the paper's figures simply omit what would not run.
+    bench_speedups = {}
+    for s in _SCALING_SYSTEMS:
+        try:
+            bench_speedups[s] = scaling.scalability(s, "bfs").speedup()
+        except ConfigError:
+            continue
     sections.append(_section(
         "Fig 5 (bench-scale real kernels)",
-        format_series("", "threads", list(_THREADS),
-                      {s: scaling.scalability(s, "bfs").speedup()
-                       for s in _SCALING_SYSTEMS})))
+        format_series("", "threads", list(_THREADS), bench_speedups)))
 
     # --- Graphalytics comparator (Tables I-II, Fig 7) -----------------
     from repro.datasets.homogenize import load_manifest
@@ -138,6 +194,14 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
     sections.append("## Fig 7: Graphalytics HTML reports\n\nWritten "
                     "under `graphalytics/` (one page per platform).\n")
 
+    # --- failures and retries ledger ----------------------------------
+    sections.append(format_failures_section({
+        "kron": kron_exp.cell_outcomes,
+        "dota": rw_exps["dota"].cell_outcomes,
+        "pat": rw_exps["pat"].cell_outcomes,
+        "scaling": scaling_exp.cell_outcomes,
+    }))
+
     # --- figures + provenance -----------------------------------------
     if render_svg:
         from repro.viz import render_all_figures
@@ -159,3 +223,34 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
     report = out_dir / "REPORT.md"
     report.write_text("\n".join(sections), encoding="utf-8")
     return report
+
+
+def resume_paper_suite(out_dir: str | Path) -> Path:
+    """Continue an interrupted ``run_paper_suite`` invocation.
+
+    Reads the parameters the interrupted run recorded in ``suite.json``
+    and re-enters the suite with ``resume=True``: completed cells are
+    skipped (their outcomes reload from each experiment's
+    ``checkpoint.json``) and the final REPORT.md is byte-identical to
+    what the uninterrupted run would have produced.
+    """
+    out_dir = Path(out_dir)
+    mpath = out_dir / SUITE_MANIFEST
+    if not mpath.exists():
+        raise CheckpointError(
+            f"{mpath}: no suite manifest; nothing to resume")
+    try:
+        params = json.loads(mpath.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"{mpath}: corrupt suite manifest ({exc})") from exc
+    try:
+        return run_paper_suite(
+            out_dir, scale=params["scale"], n_roots=params["n_roots"],
+            seed=params["seed"], render_svg=params["render_svg"],
+            resume=True, max_retries=params["max_retries"],
+            cell_timeout_s=params["cell_timeout_s"],
+            fault_spec=params["fault_spec"])
+    except KeyError as exc:
+        raise CheckpointError(
+            f"{mpath}: suite manifest missing key {exc}") from exc

@@ -144,8 +144,9 @@ def homogenize(edges: EdgeList, out_dir: str | Path,
         "n_roots": int(roots.size),
         "files": files,
     }
-    (ddir / "manifest.json").write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8")
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(ddir / "manifest.json", manifest)
 
     return HomogenizedDataset(
         name=name, directory=ddir, n_vertices=edges.n_vertices,

@@ -32,7 +32,27 @@ class ConfigError(ReproError):
 
 
 class LogParseError(ReproError):
-    """A native-format log file could not be parsed back into records."""
+    """A native-format log file could not be parsed back into records.
+
+    Carries the offending file, 1-based line number, and raw line (when
+    known) both as attributes and in the rendered message, so a damaged
+    log can be located without re-parsing by hand.
+    """
+
+    def __init__(self, message: str, *, path=None, line_no: int | None = None,
+                 line: str | None = None):
+        self.path = str(path) if path is not None else None
+        self.line_no = line_no
+        self.line = line
+        where = []
+        if self.path is not None:
+            where.append(self.path)
+        if line_no is not None:
+            where.append(f"line {line_no}")
+        full = (":".join(where) + f": {message}") if where else message
+        if line is not None:
+            full += f" (raw: {line!r})"
+        super().__init__(full)
 
 
 class ValidationError(ReproError):
@@ -41,3 +61,25 @@ class ValidationError(ReproError):
 
 class PowerMeasurementError(ReproError):
     """The simulated RAPL interface was used out of protocol order."""
+
+
+class CellTimeoutError(ReproError):
+    """A runner cell made no progress before its per-attempt deadline.
+
+    Mirrors the paper's experience of runs that hang at high thread
+    counts: the harness kills the run and either retries or quarantines
+    the cell instead of waiting forever.
+    """
+
+
+class CellQuarantinedError(ReproError):
+    """A cell exhausted its retry budget and was set aside.
+
+    Raised only when a caller explicitly asks for a quarantined cell's
+    results; the pipeline itself records the quarantine and continues,
+    the way the paper tolerates PowerGraph shipping no BFS.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint manifest or suite manifest is missing or corrupt."""

@@ -1,0 +1,48 @@
+"""Crash-safe filesystem helpers.
+
+Every JSON artifact the harness writes (``config.json``,
+``provenance.json``, ``checkpoint.json``, dataset manifests) goes
+through :func:`atomic_write_text`: the content lands in a temp file in
+the destination directory, is fsynced, and is moved into place with
+``os.replace``.  A run killed at any instant therefore leaves either
+the old artifact or the new one on disk -- never a truncated hybrid --
+which is what makes checkpoint-resume trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str | Path, obj, *, indent: int = 2,
+                      sort_keys: bool = False) -> Path:
+    """Serialize ``obj`` as JSON and write it atomically."""
+    return atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n")

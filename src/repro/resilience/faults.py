@@ -1,0 +1,214 @@
+"""Deterministic, seed-driven fault injection.
+
+The paper's harness had to survive benchmarking reality: runs that
+crash, hang at high thread counts, or leave half-written logs behind.
+Those paths are untestable unless failures can be *provoked on
+purpose*, reproducibly.  A :class:`FaultInjector` does exactly that:
+given a fault spec and the experiment seed, it decides -- identically
+on every run -- whether a given (system, algorithm, threads) cell's
+N-th attempt crashes, hangs past its deadline, or completes but leaves
+a corrupted log line behind.  Fault costs are priced on the cell's
+:class:`~repro.machine.clock.SimulatedClock` like every other duration
+in the machine model.
+
+Fault spec grammar (one string, CLI- and JSON-friendly)::
+
+    spec      := clause (";" clause)*
+    clause    := system "/" algorithm "/" threads ":" kind ["@" prob] [":" count]
+    system    := name | "*"
+    algorithm := name | "*"
+    threads   := "t" int | "*"
+    kind      := "crash" | "hang" | "corrupt"
+    prob      := float in (0, 1]      (per-attempt firing probability)
+    count     := int                  (only the first N attempts fault)
+
+Examples::
+
+    gap/bfs/t32:crash:2      # first two attempts of gap/bfs at 32 threads crash
+    graphmat/*/*:hang        # every graphmat attempt hangs (permanent)
+    */bfs/*:crash@0.25       # each BFS attempt crashes with seeded prob 0.25
+
+The first matching clause wins.  A clause with neither ``prob`` nor
+``count`` faults every attempt -- a permanent failure that will drive
+the cell into quarantine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultRule", "FaultInjector",
+           "InjectedCrashError", "parse_fault_spec", "corrupt_log"]
+
+FAULT_KINDS = ("crash", "hang", "corrupt")
+
+
+class InjectedCrashError(ReproError):
+    """A cell attempt was killed by an injected crash fault."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One concrete fault to apply to one cell attempt."""
+
+    kind: str
+    #: Simulated seconds consumed before the failure is observed (for a
+    #: hang, the supervisor substitutes the cell deadline).
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed clause of a fault spec."""
+
+    system: str
+    algorithm: str
+    threads: int | None          # None = wildcard
+    kind: str
+    attempts: int | None = None  # fault only the first N attempts
+    probability: float | None = None
+
+    def matches(self, system: str, algorithm: str, threads: int) -> bool:
+        return ((self.system in ("*", system))
+                and (self.algorithm in ("*", algorithm))
+                and (self.threads is None or self.threads == threads))
+
+
+def parse_fault_spec(spec: str) -> tuple[FaultRule, ...]:
+    """Parse a fault spec string; raises :class:`ConfigError` on bad input."""
+    rules: list[FaultRule] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if len(parts) not in (2, 3):
+            raise ConfigError(
+                f"fault clause {clause!r}: want cell:kind[:count]")
+        cell = parts[0].split("/")
+        if len(cell) != 3:
+            raise ConfigError(
+                f"fault clause {clause!r}: cell must be "
+                "system/algorithm/threads")
+        system, algorithm, tpart = (c.strip() for c in cell)
+        if tpart == "*":
+            threads: int | None = None
+        elif tpart.startswith("t") and tpart[1:].isdigit():
+            threads = int(tpart[1:])
+        else:
+            raise ConfigError(
+                f"fault clause {clause!r}: threads must be t<int> or *")
+        kind_part = parts[1].strip()
+        probability: float | None = None
+        if "@" in kind_part:
+            kind, _, prob_s = kind_part.partition("@")
+            try:
+                probability = float(prob_s)
+            except ValueError:
+                raise ConfigError(
+                    f"fault clause {clause!r}: bad probability "
+                    f"{prob_s!r}") from None
+            if not 0.0 < probability <= 1.0:
+                raise ConfigError(
+                    f"fault clause {clause!r}: probability must be in "
+                    "(0, 1]")
+        else:
+            kind = kind_part
+        if kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"fault clause {clause!r}: kind must be one of "
+                f"{FAULT_KINDS}")
+        attempts: int | None = None
+        if len(parts) == 3 and parts[2].strip() != "*":
+            try:
+                attempts = int(parts[2])
+            except ValueError:
+                raise ConfigError(
+                    f"fault clause {clause!r}: bad count "
+                    f"{parts[2]!r}") from None
+            if attempts < 1:
+                raise ConfigError(
+                    f"fault clause {clause!r}: count must be >= 1")
+        rules.append(FaultRule(system=system, algorithm=algorithm,
+                               threads=threads, kind=kind,
+                               attempts=attempts, probability=probability))
+    if not rules:
+        raise ConfigError(f"fault spec {spec!r} contains no clauses")
+    return tuple(rules)
+
+
+class FaultInjector:
+    """Decides, deterministically, which cell attempts fault.
+
+    All randomness (probabilistic clauses, crash-point timing) is keyed
+    by the experiment seed plus the full attempt identity, exactly like
+    :class:`~repro.machine.variance.VarianceModel`: two runs with the
+    same seed and spec inject byte-identical faults.
+    """
+
+    def __init__(self, seed: int, spec: str | tuple[FaultRule, ...]):
+        self.seed = int(seed)
+        self.rules = (parse_fault_spec(spec) if isinstance(spec, str)
+                      else tuple(spec))
+
+    # ------------------------------------------------------------------
+    def _rng(self, key: tuple) -> np.random.Generator:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(b"fault")
+        h.update(struct.pack("<q", self.seed))
+        for part in key:
+            h.update(repr(part).encode())
+            h.update(b"\x1f")
+        return np.random.default_rng(int.from_bytes(h.digest(), "little"))
+
+    # ------------------------------------------------------------------
+    def fault_for(self, system: str, algorithm: str, threads: int,
+                  attempt: int) -> Fault | None:
+        """The fault (if any) for one attempt of one cell."""
+        for rule in self.rules:
+            if not rule.matches(system, algorithm, threads):
+                continue
+            if rule.attempts is not None and attempt >= rule.attempts:
+                continue
+            if rule.probability is not None:
+                rng = self._rng(("fire", system, algorithm, threads,
+                                 attempt, rule.kind))
+                if float(rng.random()) >= rule.probability:
+                    continue
+            # How far into the run the failure strikes: a seeded draw,
+            # so the partial clock advance is itself reproducible.
+            cost = self._rng(("cost", system, algorithm, threads,
+                              attempt, rule.kind))
+            seconds = float(cost.uniform(0.05, 0.75))
+            return Fault(kind=rule.kind, seconds=seconds)
+        return None
+
+
+def corrupt_log(path: str | Path, seed: int) -> int:
+    """Deterministically damage one line of a written log file.
+
+    Models a run whose process died mid-``fwrite``: one line (chosen by
+    a seeded draw keyed on the file name) is truncated and smeared with
+    garbage.  Returns the damaged line's index.  Damaging the header
+    (index 0) makes the whole file unusable -- the salvage path in
+    :func:`repro.core.logs.parse_all_logs` must then skip the file;
+    damaging any other line costs at most that one record.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    h = hashlib.blake2b(digest_size=8)
+    h.update(struct.pack("<q", int(seed)))
+    h.update(path.name.encode())
+    rng = np.random.default_rng(int.from_bytes(h.digest(), "little"))
+    idx = int(rng.integers(0, len(lines)))
+    keep = max(1, len(lines[idx]) // 2)
+    lines[idx] = lines[idx][:keep] + "\x00###CORRUPT###"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return idx

@@ -1,0 +1,97 @@
+"""Retry policy and structured attempt records.
+
+The policy mirrors what every mature benchmark harness (LDBC
+Graphalytics, GAP's per-trial isolation) converges on: a bounded number
+of attempts per cell, exponential backoff between attempts so a
+transiently overloaded machine gets quiet time, and a per-attempt
+deadline after which a hung run is declared dead.  Backoff *jitter* is
+drawn from the seeded :class:`~repro.machine.variance.VarianceModel`,
+so the full attempt timeline -- like every other duration in this
+reproduction -- is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["RetryPolicy", "AttemptRecord", "DEFAULT_CELL_TIMEOUT_S"]
+
+#: Per-attempt deadline when the config leaves ``cell_timeout_s`` unset.
+#: Generous: at bench scales no healthy simulated cell comes close.
+DEFAULT_CELL_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff."""
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    timeout_s: float = DEFAULT_CELL_TIMEOUT_S
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive")
+
+    @staticmethod
+    def from_config(config) -> "RetryPolicy":
+        """Derive the policy from an ExperimentConfig's knobs."""
+        return RetryPolicy(
+            max_attempts=config.max_retries + 1,
+            timeout_s=(config.cell_timeout_s
+                       if config.cell_timeout_s is not None
+                       else DEFAULT_CELL_TIMEOUT_S))
+
+    def nominal_backoff_s(self, attempt: int) -> float:
+        """Backoff scheduled after failed attempt ``attempt`` (0-based),
+        before jitter."""
+        return min(self.base_backoff_s * self.backoff_factor ** attempt,
+                   self.max_backoff_s)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one cell, as written to ``checkpoint.json``.
+
+    Times are simulated harness-clock seconds, cell-relative (the first
+    attempt starts at 0.0), so records survive resume unchanged.
+    """
+
+    attempt: int
+    #: "ok" | "crash" | "timeout" | "error"
+    status: str
+    #: ``"ErrorType: message"`` for failed attempts, else None.
+    error: str | None
+    started_s: float
+    ended_s: float
+    #: Backoff slept after this (failed) attempt; None when no retry
+    #: follows.
+    backoff_s: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.ended_s - self.started_s
+
+    def to_dict(self) -> dict:
+        return {"attempt": self.attempt, "status": self.status,
+                "error": self.error, "started_s": self.started_s,
+                "ended_s": self.ended_s, "backoff_s": self.backoff_s}
+
+    @staticmethod
+    def from_dict(d: dict) -> "AttemptRecord":
+        return AttemptRecord(
+            attempt=int(d["attempt"]), status=d["status"],
+            error=d.get("error"), started_s=float(d["started_s"]),
+            ended_s=float(d["ended_s"]),
+            backoff_s=(float(d["backoff_s"])
+                       if d.get("backoff_s") is not None else None))

@@ -1,0 +1,138 @@
+"""Per-cell supervision: attempts, backoff, quarantine.
+
+:class:`CellSupervisor` wraps each Runner cell the way the paper's
+shell wrapper wraps each native binary: it launches the attempt,
+applies any injected fault, catches *framework* failures
+(:class:`~repro.errors.ReproError` -- never programming errors), sleeps
+a jittered exponential backoff on the simulated harness clock, and
+after the retry budget is exhausted records a quarantine instead of
+raising.  One bad cell can therefore never discard the rest of a
+suite, exactly like one PowerGraph-without-BFS hole never discarded
+the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CellTimeoutError, ReproError
+from repro.logging_util import get_logger
+from repro.machine.clock import SimulatedClock
+from repro.machine.variance import VarianceModel
+from repro.resilience.faults import FaultInjector, InjectedCrashError
+from repro.resilience.retry import AttemptRecord, RetryPolicy
+
+__all__ = ["CellOutcome", "CellSupervisor", "cell_id"]
+
+
+def cell_id(system: str, algorithm: str, n_threads: int) -> str:
+    return f"{system}/{algorithm}/t{n_threads}"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Final state of one (system, algorithm, threads) cell."""
+
+    cell: str
+    #: "completed" | "unsupported" | "quarantined"
+    status: str
+    #: Log path relative to the experiment dir (completed cells only).
+    log: str | None
+    attempts: tuple[AttemptRecord, ...]
+
+    @property
+    def failed_attempts(self) -> tuple[AttemptRecord, ...]:
+        return tuple(a for a in self.attempts if a.status != "ok")
+
+    def to_dict(self) -> dict:
+        return {"cell": self.cell, "status": self.status, "log": self.log,
+                "attempts": [a.to_dict() for a in self.attempts]}
+
+    @staticmethod
+    def from_dict(d: dict) -> "CellOutcome":
+        return CellOutcome(
+            cell=d["cell"], status=d["status"], log=d.get("log"),
+            attempts=tuple(AttemptRecord.from_dict(a)
+                           for a in d.get("attempts", ())))
+
+
+class CellSupervisor:
+    """Runs one cell under the retry policy, recording every attempt."""
+
+    def __init__(self, runner, policy: RetryPolicy,
+                 injector: FaultInjector | None = None):
+        self.runner = runner
+        self.policy = policy
+        self.injector = injector
+        self.variance = VarianceModel(runner.config.seed)
+        self._log = get_logger("repro.resilience")
+
+    # ------------------------------------------------------------------
+    def _backoff_s(self, system: str, algorithm: str, n_threads: int,
+                   attempt: int) -> float:
+        nominal = self.policy.nominal_backoff_s(attempt)
+        return self.variance.jitter(
+            nominal, ("backoff", system, algorithm, n_threads, attempt))
+
+    # ------------------------------------------------------------------
+    def run_cell(self, system: str, algorithm: str,
+                 n_threads: int) -> CellOutcome:
+        """Run one cell to a terminal outcome; never raises ReproError."""
+        cid = cell_id(system, algorithm, n_threads)
+        machine = self.runner.config.machine
+        # Harness-side timeline for this cell: attempt windows and
+        # backoff sleeps, all simulated, all starting at 0 so records
+        # are identical whether the cell ran first or after a resume.
+        clock = SimulatedClock(idle_pkg_watts=machine.idle_pkg_watts,
+                               idle_dram_watts=machine.idle_dram_watts)
+        attempts: list[AttemptRecord] = []
+        for attempt in range(self.policy.max_attempts):
+            fault = None
+            if self.injector is not None:
+                fault = self.injector.fault_for(system, algorithm,
+                                                n_threads, attempt)
+                if fault is not None and fault.kind == "hang":
+                    # A hang is only observed at the deadline.
+                    fault = type(fault)(kind="hang",
+                                        seconds=self.policy.timeout_s)
+            started = clock.now
+            try:
+                path = self.runner.run_system_algorithm(
+                    system, algorithm, n_threads, fault=fault)
+            except (InjectedCrashError, CellTimeoutError, ReproError) as exc:
+                clock.advance(self.runner.last_cell_seconds)
+                status = ("timeout" if isinstance(exc, CellTimeoutError)
+                          else "crash" if isinstance(exc, InjectedCrashError)
+                          else "error")
+                backoff = None
+                if attempt + 1 < self.policy.max_attempts:
+                    backoff = self._backoff_s(system, algorithm,
+                                              n_threads, attempt)
+                attempts.append(AttemptRecord(
+                    attempt=attempt, status=status,
+                    error=f"{type(exc).__name__}: {exc}",
+                    started_s=started, ended_s=clock.now,
+                    backoff_s=backoff))
+                if backoff is not None:
+                    clock.advance(backoff)   # idle: the harness sleeps
+                    self._log.info("retrying %s after %s (backoff %.3fs)",
+                                   cid, type(exc).__name__, backoff)
+                continue
+            clock.advance(self.runner.last_cell_seconds)
+            if path is None:
+                # Capability hole, not a failure: no retry, no attempt
+                # spent -- the paper's PowerGraph-has-no-BFS case.
+                return CellOutcome(cell=cid, status="unsupported",
+                                   log=None, attempts=())
+            attempts.append(AttemptRecord(
+                attempt=attempt, status="ok", error=None,
+                started_s=started, ended_s=clock.now))
+            rel = Path(path).relative_to(
+                self.runner.config.output_dir).as_posix()
+            return CellOutcome(cell=cid, status="completed", log=rel,
+                               attempts=tuple(attempts))
+        self._log.warning("quarantining %s after %d attempt(s)",
+                          cid, len(attempts))
+        return CellOutcome(cell=cid, status="quarantined", log=None,
+                           attempts=tuple(attempts))
