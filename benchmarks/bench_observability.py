@@ -1,0 +1,74 @@
+"""Observability gate: tracing must be (nearly) free.
+
+The tracer is designed so every harness layer can call it
+unconditionally -- which only holds up if an enabled tracer costs a few
+percent at most and a disabled one costs nothing measurable.  This gate
+runs the same smoke experiment untraced and traced (best of three each,
+to shave scheduler noise) and asserts the traced median stays within
+5% wall-clock of the untraced one, then records both timings and the
+span census as a benchmark artifact.
+"""
+
+import shutil
+import time
+
+from conftest import write_artifact
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.observability import Tracer, read_events, span_events
+
+SMOKE_SCALE = 10
+SMOKE_ROOTS = 2
+ROUNDS = 3
+MAX_OVERHEAD = 0.05
+
+
+def _run_once(out_dir, tracer):
+    cfg = ExperimentConfig(
+        output_dir=out_dir, dataset="kronecker", scale=SMOKE_SCALE,
+        n_roots=SMOKE_ROOTS, algorithms=("bfs", "sssp", "pagerank"))
+    exp = Experiment(cfg, tracer=tracer)
+    t0 = time.perf_counter()
+    exp.run_all()
+    return time.perf_counter() - t0
+
+
+def test_tracing_overhead_under_five_percent(tmp_path_factory):
+    base = tmp_path_factory.mktemp("bench-observability")
+    plain_times, traced_times = [], []
+    trace_dir = None
+    for i in range(ROUNDS):
+        plain_dir = base / f"plain{i}"
+        plain_times.append(_run_once(plain_dir, Tracer()))
+        shutil.rmtree(plain_dir)
+
+        traced_out = base / f"traced{i}"
+        tracer = Tracer(traced_out / "trace")
+        traced_times.append(_run_once(traced_out, tracer))
+        tracer.close()
+        trace_dir = traced_out / "trace"
+        if i < ROUNDS - 1:
+            shutil.rmtree(traced_out)
+
+    plain = min(plain_times)
+    traced = min(traced_times)
+    overhead = traced / plain - 1.0
+    spans = len(span_events(read_events(trace_dir)))
+
+    write_artifact(
+        "observability_gate.txt",
+        f"scale: {SMOKE_SCALE}, roots: {SMOKE_ROOTS}, "
+        f"rounds: {ROUNDS}\n"
+        f"untraced best: {plain:.3f}s  (all: "
+        + ", ".join(f"{t:.3f}" for t in plain_times) + ")\n"
+        f"traced best:   {traced:.3f}s  (all: "
+        + ", ".join(f"{t:.3f}" for t in traced_times) + ")\n"
+        f"spans recorded: {spans}\n"
+        f"overhead: {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})")
+    print(f"\ntracing overhead: {overhead:+.2%} over {plain:.3f}s "
+          f"({spans} spans)")
+    assert spans > 0
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead:+.2%} exceeds "
+        f"{MAX_OVERHEAD:.0%} budget ({plain:.3f}s -> {traced:.3f}s)")

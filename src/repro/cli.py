@@ -33,6 +33,7 @@ from repro.errors import (
     PowerMeasurementError,
     ReproError,
     SystemCapabilityError,
+    TraceError,
     ValidationError,
 )
 from repro.systems.registry import ALL_SYSTEM_NAMES, available_systems
@@ -54,6 +55,7 @@ EXIT_CODES: dict[type, int] = {
     CellQuarantinedError: 9,
     CheckpointError: 10,
     GraphFormatError: 11,
+    TraceError: 12,
 }
 
 
@@ -146,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-retries", type=int, default=2)
     sp.add_argument("--cell-timeout", type=float, default=None)
     sp.add_argument("--fault-spec", default=None)
+    sp.add_argument("--trace", action="store_true",
+                    help="record hierarchical spans + metrics under "
+                         "<output>/trace/")
 
     sp = sub.add_parser(
         "resume",
@@ -157,6 +162,29 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser(
         "verify", help="check an experiment dir against provenance.json")
     sp.add_argument("--output", type=Path, required=True)
+
+    sp = sub.add_parser(
+        "trace",
+        help="inspect a recorded trace (events.jsonl) from a traced run")
+    sp.add_argument("output", type=Path,
+                    help="run directory, trace directory, or events.jsonl")
+    sp.add_argument("--validate", action="store_true",
+                    help="check the span schema and print a summary")
+    sp.add_argument("--chrome", action="store_true",
+                    help="write Chrome trace-event JSON (trace.json) "
+                         "next to the event log")
+    sp.add_argument("--svg", action="store_true",
+                    help="render the SVG timeline next to the event log")
+    sp.add_argument("--depth", type=int, default=None,
+                    help="limit the printed span-tree depth")
+
+    sp = sub.add_parser(
+        "metrics",
+        help="print a Prometheus snapshot replayed from a trace")
+    sp.add_argument("output", type=Path,
+                    help="run directory, trace directory, or events.jsonl")
+    sp.add_argument("--json", action="store_true",
+                    help="JSON snapshot instead of Prometheus text")
 
     sp = sub.add_parser(
         "traces", help="render captured power traces (CSV) to SVG")
@@ -255,7 +283,8 @@ def _dispatch(args) -> int:
                                  resume=args.resume,
                                  max_retries=args.max_retries,
                                  cell_timeout_s=args.cell_timeout,
-                                 fault_spec=args.fault_spec)
+                                 fault_spec=args.fault_spec,
+                                 trace=args.trace)
         print(f"wrote {report}")
         _warn_if_degraded(args.output)
         return 0
@@ -303,6 +332,49 @@ def _dispatch(args) -> int:
                 print(f"{system:<12}{algorithm:<11}"
                       f"{v.est_runtime_s:>11.3g}s"
                       f"{v.est_memory_bytes / 1e9:>11.2f}GB  {verdict}")
+        return 0
+
+    if args.command == "trace":
+        from repro.observability import (
+            read_events,
+            render_svg,
+            render_text,
+            resolve_events_path,
+            validate_events,
+            write_chrome_trace,
+        )
+
+        path = resolve_events_path(args.output)
+        events = read_events(path)
+        if args.validate:
+            stats = validate_events(events)
+            orphaned = (f", {stats['orphans']} orphaned "
+                        "(interrupted run)" if stats["orphans"] else "")
+            print(f"{path}: valid; {stats['spans']} spans / "
+                  f"{stats['events']} events{orphaned}, sim end "
+                  f"{stats['sim_end_s']:.3f}s, categories: "
+                  + ", ".join(stats["categories"]))
+        if args.chrome:
+            out = write_chrome_trace(events, path.parent / "trace.json")
+            print(f"wrote {out}")
+        if args.svg:
+            render_svg(events, path.parent / "timeline.svg")
+            print(f"wrote {path.parent / 'timeline.svg'}")
+        if not (args.validate or args.chrome or args.svg):
+            print(render_text(events, max_depth=args.depth), end="")
+        return 0
+
+    if args.command == "metrics":
+        import json
+
+        from repro.observability import derive_metrics, read_events
+
+        registry = derive_metrics(read_events(args.output))
+        if args.json:
+            print(json.dumps(registry.to_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print(registry.to_prometheus(), end="")
         return 0
 
     if args.command == "verify":

@@ -31,6 +31,7 @@ from repro.errors import ConfigError, LogParseError
 from repro.graph.edgelist import EdgeList
 from repro.ioutil import atomic_write_json
 from repro.logging_util import get_logger, phase_timer
+from repro.observability import Tracer
 from repro.resilience import (
     CellOutcome,
     CellSupervisor,
@@ -47,8 +48,12 @@ __all__ = ["Experiment"]
 class Experiment:
     """Stateful driver for one configured study."""
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig,
+                 tracer: Tracer | None = None):
         self.config = config
+        #: Observability sink; a constructor argument (not config) so
+        #: checkpoint digests are identical with and without tracing.
+        self.tracer = tracer if tracer is not None else Tracer()
         self.dataset: HomogenizedDataset | None = None
         self.records: list[Record] | None = None
         #: Terminal outcome of every cell the last run() saw, in visit
@@ -93,13 +98,14 @@ class Experiment:
 
     def homogenize(self) -> HomogenizedDataset:
         """Phase 2: write every per-system input file + roots."""
-        with phase_timer("homogenize", self._log):
+        with phase_timer("homogenize", self._log, tracer=self.tracer):
             edges = self._generate_edges()
             self._log.info("dataset %s: %d vertices, %d edges",
                            edges.name, edges.n_vertices, edges.n_edges)
             self.dataset = homogenize(
                 edges, self.config.output_dir / "datasets",
-                n_roots=self.config.n_roots, seed=self.config.seed)
+                n_roots=self.config.n_roots, seed=self.config.seed,
+                tracer=self.tracer)
         return self.dataset
 
     # ------------------------------------------------------------------
@@ -117,7 +123,7 @@ class Experiment:
         """
         if self.dataset is None:
             self.homogenize()
-        runner = Runner(self.config, self.dataset)
+        runner = Runner(self.config, self.dataset, tracer=self.tracer)
         checkpoint = SuiteCheckpoint.load_or_create(
             self.config.output_dir, self.config)
         injector = (FaultInjector(self.config.seed, self.config.fault_spec)
@@ -127,7 +133,7 @@ class Experiment:
             injector=injector)
         self.cell_outcomes = []
         paths: list[Path] = []
-        with phase_timer("run", self._log):
+        with phase_timer("run", self._log, tracer=self.tracer):
             for n_threads in self.config.thread_counts:
                 for system in self.config.systems:
                     for algorithm in self.config.algorithms:
@@ -138,6 +144,8 @@ class Experiment:
                                 system, algorithm, n_threads)
                             checkpoint.record(outcome)
                         else:
+                            self.tracer.counter(
+                                "epg_checkpoint_hits_total", cell=cid)
                             self._log.debug("checkpoint: %s already %s",
                                             cid, outcome.status)
                         self.cell_outcomes.append(outcome)

@@ -46,8 +46,13 @@ def _box_table_html(title: str, boxes: dict[str, BoxStats]) -> str:
 
 def render_epg_html(analysis: Analysis, out_path: str | Path,
                     title: str = "easy-parallel-graph-* report",
-                    embed_figures: bool = True) -> Path:
-    """Write one self-contained HTML report for an analysis."""
+                    embed_figures: bool = True,
+                    observability: str | None = None) -> Path:
+    """Write one self-contained HTML report for an analysis.
+
+    ``observability`` is an optional preformatted text block (the
+    REPORT.md Observability section) appended when tracing was on.
+    """
     if not analysis.records:
         raise ConfigError("nothing to report")
     out_path = Path(out_path)
@@ -105,6 +110,10 @@ def render_epg_html(analysis: Analysis, out_path: str | Path,
                 parts.append(f"<figure>{svg_body}"
                              f"<figcaption>{escape(p.stem)}"
                              "</figcaption></figure>")
+
+    if observability:
+        parts.append("<h2>Observability</h2>"
+                     f"<pre>{escape(observability)}</pre>")
 
     parts.append("</body></html>")
     out_path.write_text("".join(parts), encoding="utf-8")

@@ -121,6 +121,47 @@ def format_failures_section(outcomes_by_label) -> str:
     return "\n".join(lines + rows) + "\n"
 
 
+def format_observability_section(events, registry,
+                                 trace_dir: str = "trace") -> str:
+    """The report's "Observability" section (tracing-enabled runs only).
+
+    ``events`` is the parsed event log; ``registry`` the metrics
+    replayed from it.  Shows only simulated-clock durations so a traced
+    resume reports the same numbers as an uninterrupted traced run.
+    """
+    from repro.observability import slowest_spans, span_events
+
+    spans = span_events(events)
+    sim_end = max((ev["t1_sim"] for ev in spans), default=0.0)
+    lines = [
+        "## Observability",
+        "",
+        f"- {len(spans)} spans recorded; simulated timeline ends at "
+        f"{sim_end:.3f} s",
+    ]
+
+    def _total(name: str) -> float:
+        m = registry.get(name)
+        return m.total() if m is not None else 0.0
+
+    lines.append(f"- attempts: {_total('epg_attempts_total'):.0f}, "
+                 f"retries: {_total('epg_retries_total'):.0f}, "
+                 f"quarantines: {_total('epg_quarantines_total'):.0f}, "
+                 f"checkpoint hits: "
+                 f"{_total('epg_checkpoint_hits_total'):.0f}, "
+                 f"kernel cache hits: "
+                 f"{_total('epg_kernel_cache_hits_total'):.0f}")
+    lines.append(f"- event log: `{trace_dir}/events.jsonl`; Chrome "
+                 f"trace: `{trace_dir}/trace.json` (load in Perfetto "
+                 f"or chrome://tracing); metrics: "
+                 f"`{trace_dir}/metrics.prom`")
+    lines += ["", "Top 5 slowest spans (simulated):", ""]
+    for ev in slowest_spans(events, 5):
+        dur = ev["t1_sim"] - ev["t0_sim"]
+        lines.append(f"- `{ev['name']}` ({ev['cat']}): {dur:.3f} s")
+    return "\n".join(lines) + "\n"
+
+
 # ----------------------------------------------------------------------
 # Figure-specific assemblies
 # ----------------------------------------------------------------------

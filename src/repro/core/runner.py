@@ -29,6 +29,7 @@ from repro.datasets.homogenize import HomogenizedDataset
 from repro.errors import CellTimeoutError, SystemCapabilityError
 from repro.machine.clock import SimulatedClock
 from repro.machine.variance import VarianceModel
+from repro.observability import Tracer
 from repro.power.energy import instantaneous_power
 from repro.power.papi import (
     power_rapl_end,
@@ -50,9 +51,10 @@ class Runner:
     """Executes one experiment's run phase and writes native logs."""
 
     def __init__(self, config: ExperimentConfig,
-                 dataset: HomogenizedDataset):
+                 dataset: HomogenizedDataset, tracer: Tracer | None = None):
         self.config = config
         self.dataset = dataset
+        self.tracer = tracer if tracer is not None else Tracer()
         self.variance = VarianceModel(config.seed)
         self._reference_cache: dict = {}
         #: Simulated seconds the most recent cell (or faulted partial
@@ -133,6 +135,8 @@ class Runner:
         clock = SimulatedClock(
             idle_pkg_watts=self.config.machine.idle_pkg_watts,
             idle_dram_watts=self.config.machine.idle_dram_watts)
+        self.tracer.bind_clock(clock)
+        system.tracer = self.tracer
 
         if fault is not None and fault.kind in ("crash", "hang"):
             self._fail_cell(fault, writer, clock, system_name, algorithm,
@@ -238,8 +242,12 @@ class Runner:
                                nbfs=len(roots) * cfg.n_trials)
         build = self._jitter(loaded.build_s or 0.0, system, "bfs",
                              "build", -1, 0)
-        clock.advance(loaded.read_s)      # untimed generator/read phase
-        clock.advance(build)              # kernel 1 (timed)
+        with self.tracer.span("phase:read", category="phase",
+                              system=system.name, algorithm="bfs"):
+            clock.advance(loaded.read_s)  # untimed generator/read phase
+        with self.tracer.span("phase:build", category="phase",
+                              system=system.name, algorithm="bfs"):
+            clock.advance(build)          # kernel 1 (timed)
         writer.graph500_construction(build)
 
         pkg_w, dram_w = self._power_draw(system, "bfs", -1, 0)
@@ -256,9 +264,16 @@ class Runner:
                     if self.config.validate_outputs:
                         self._validate(res, "bfs", root)
                     kernel_cache[root] = res
+                else:
+                    self.tracer.counter("epg_kernel_cache_hits_total",
+                                        system=system.name,
+                                        algorithm="bfs")
                 t = self._jitter(kernel_cache[root].time_s, system, "bfs",
                                  "time", root, trial)
-                clock.advance(t, pkg_w, dram_w)
+                with self.tracer.span("phase:kernel", category="phase",
+                                      system=system.name, algorithm="bfs",
+                                      root=root, trial=trial):
+                    clock.advance(t, pkg_w, dram_w)
                 writer.graph500_bfs(index, root, t)
                 times.append((t, kernel_cache[root]))
                 index += 1
@@ -290,6 +305,10 @@ class Runner:
                 if self.config.validate_outputs:
                     self._validate(result, algorithm, root)
                 kernel_cache[cache_key] = result
+            else:
+                self.tracer.counter("epg_kernel_cache_hits_total",
+                                    system=system.name,
+                                    algorithm=algorithm)
             result = kernel_cache[cache_key]
 
             read = self._jitter(loaded.read_s, system, algorithm, "read",
@@ -306,12 +325,26 @@ class Runner:
             pkg_w, dram_w = self._power_draw(system, algorithm, root, trial)
             load_pkg = (self.config.machine.idle_pkg_watts + pkg_w) / 2
             load_dram = (self.config.machine.idle_dram_watts + dram_w) / 2
-            clock.advance(read + (build or 0.0), load_pkg, load_dram)
+            with self.tracer.span("phase:read", category="phase",
+                                  system=system.name, algorithm=algorithm,
+                                  root=root, trial=trial):
+                clock.advance(read, load_pkg, load_dram)
+            if build is not None:
+                with self.tracer.span("phase:build", category="phase",
+                                      system=system.name,
+                                      algorithm=algorithm, root=root,
+                                      trial=trial):
+                    clock.advance(build, load_pkg, load_dram)
 
             trace_name = (f"{system.name}-{algorithm}"
                           f"-t{system.n_threads}-r{root}-{trial}")
-            ps = self._measured_advance(clock, t, pkg_w, dram_w,
-                                        trace_name=trace_name)
+            with self.tracer.span("phase:kernel", category="phase",
+                                  system=system.name, algorithm=algorithm,
+                                  root=root, trial=trial) as ksp:
+                ps = self._measured_advance(clock, t, pkg_w, dram_w,
+                                            trace_name=trace_name)
+                ksp.set(energy_pkg_j=round(ps.package_joules, 6),
+                        energy_dram_j=round(ps.dram_joules, 6))
 
             self._emit_native(writer, system, loaded, algorithm, root,
                               trial, read, build, t, result)

@@ -40,11 +40,13 @@ from repro.core.projection import PAPER_SCALING_SCALE, projected_scalability
 from repro.core.report import (
     figure_series,
     format_failures_section,
+    format_observability_section,
     format_series,
     format_table,
 )
 from repro.errors import CheckpointError, ConfigError
 from repro.ioutil import atomic_write_json
+from repro.observability import Tracer
 from repro.resilience import SuiteCheckpoint
 
 __all__ = ["run_paper_suite", "resume_paper_suite", "SUITE_MANIFEST"]
@@ -67,12 +69,16 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
                     render_svg: bool = True, *, resume: bool = False,
                     max_retries: int = 2,
                     cell_timeout_s: float | None = None,
-                    fault_spec: str | None = None) -> Path:
+                    fault_spec: str | None = None,
+                    trace: bool = False) -> Path:
     """Run everything; return the REPORT.md path.
 
     ``resume=False`` (the default) starts fresh, clearing any
     checkpoints a previous invocation left in ``out_dir``;
     ``resume=True`` keeps them, so only unfinished cells execute.
+    ``trace=True`` records the whole run as hierarchical spans under
+    ``<out>/trace/`` (event log, Chrome trace, Prometheus snapshot,
+    timeline SVG) and appends an Observability section to REPORT.md.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -83,10 +89,64 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
         "scale": scale, "n_roots": n_roots, "seed": seed,
         "render_svg": render_svg, "max_retries": max_retries,
         "cell_timeout_s": cell_timeout_s, "fault_spec": fault_spec,
+        "trace": trace,
     })
     resilience = dict(max_retries=max_retries,
                       cell_timeout_s=cell_timeout_s,
                       fault_spec=fault_spec)
+    tracer = (Tracer(out_dir / "trace", resume=resume) if trace
+              else Tracer())
+    try:
+        with tracer.span("suite", category="suite", scale=scale,
+                         n_roots=n_roots, seed=seed):
+            sections, kron = _suite_sections(
+                out_dir, scale, n_roots, seed, render_svg, resilience,
+                tracer)
+        observability = None
+        if tracer.enabled:
+            observability = _export_trace(tracer, render_svg)
+            sections.append(observability)
+
+        from repro.core.html_report import render_epg_html
+
+        render_epg_html(kron, out_dir / "report.html",
+                        title=f"EPG* report: kron-scale{scale}",
+                        embed_figures=render_svg,
+                        observability=observability)
+    finally:
+        tracer.close()
+
+    report = out_dir / "REPORT.md"
+    report.write_text("\n".join(sections), encoding="utf-8")
+    return report
+
+
+def _export_trace(tracer: Tracer, want_svg: bool) -> str:
+    """Write the trace artifacts; return the Observability section."""
+    from repro.observability import (
+        derive_metrics,
+        read_events,
+        render_svg as render_timeline,
+        write_chrome_trace,
+    )
+
+    tracer.flush()
+    events = read_events(tracer.path)
+    trace_dir = tracer.directory
+    write_chrome_trace(events, trace_dir / "trace.json")
+    registry = derive_metrics(events)
+    (trace_dir / "metrics.prom").write_text(registry.to_prometheus(),
+                                            encoding="utf-8")
+    atomic_write_json(trace_dir / "metrics.json", registry.to_dict())
+    if want_svg:
+        render_timeline(events, trace_dir / "timeline.svg")
+    return format_observability_section(events, registry)
+
+
+def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
+                    render_svg: bool, resilience: dict,
+                    tracer: Tracer) -> tuple[list[str], Analysis]:
+    """Run every experiment; return (REPORT sections, kron analysis)."""
     sections: list[str] = [
         "# easy-parallel-graph-* full reproduction report",
         f"\nKronecker scale {scale}, {n_roots} roots, seed {seed}; "
@@ -98,8 +158,10 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
         output_dir=out_dir / "kron", dataset="kronecker", scale=scale,
         n_roots=n_roots, seed=seed,
         algorithms=("bfs", "sssp", "pagerank"), **resilience)
-    kron_exp = Experiment(kron_cfg)
-    kron = kron_exp.run_all()
+    kron_exp = Experiment(kron_cfg, tracer=tracer)
+    with tracer.span("experiment:kron", category="experiment",
+                     dataset="kronecker", scale=scale):
+        kron = kron_exp.run_all()
     for fig, caption in (("fig2", "Fig 2: BFS time and construction"),
                          ("fig3", "Fig 3: SSSP time and construction"),
                          ("fig4", "Fig 4: PageRank time / iterations"),
@@ -131,8 +193,10 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
             output_dir=out_dir / sub, dataset=ds, n_roots=n_roots,
             seed=seed, algorithms=("bfs", "sssp", "pagerank"),
             **resilience)
-        exp = Experiment(cfg)
-        rw_records.extend(exp.run_all().records)
+        exp = Experiment(cfg, tracer=tracer)
+        with tracer.span(f"experiment:{sub}", category="experiment",
+                         dataset=ds):
+            rw_records.extend(exp.run_all().records)
         rw_exps[sub] = exp
     merged = Analysis(rw_records, machine=kron_cfg.machine)
     sections.append(_section("Fig 8: real-world comparison",
@@ -154,8 +218,10 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
         output_dir=out_dir / "scaling", dataset="kronecker",
         scale=scale, n_roots=min(n_roots, 4), seed=seed,
         algorithms=("bfs",), thread_counts=_THREADS, **resilience)
-    scaling_exp = Experiment(scaling_cfg)
-    scaling = scaling_exp.run_all()
+    scaling_exp = Experiment(scaling_cfg, tracer=tracer)
+    with tracer.span("experiment:scaling", category="experiment",
+                     dataset="kronecker"):
+        scaling = scaling_exp.run_all()
     # Quarantined cells degrade a system's curve to absence, the way
     # the paper's figures simply omit what would not run.
     bench_speedups = {}
@@ -210,19 +276,12 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
         render_all_figures(merged, out_dir / "figures")
         render_all_figures(scaling, out_dir / "figures")
 
-    from repro.core.html_report import render_epg_html
     from repro.core.provenance import capture
-
-    render_epg_html(kron, out_dir / "report.html",
-                    title=f"EPG* report: kron-scale{scale}",
-                    embed_figures=render_svg)
 
     for cfg in (kron_cfg, scaling_cfg):
         capture(cfg)
 
-    report = out_dir / "REPORT.md"
-    report.write_text("\n".join(sections), encoding="utf-8")
-    return report
+    return sections, kron
 
 
 def resume_paper_suite(out_dir: str | Path) -> Path:
@@ -250,7 +309,8 @@ def resume_paper_suite(out_dir: str | Path) -> Path:
             seed=params["seed"], render_svg=params["render_svg"],
             resume=True, max_retries=params["max_retries"],
             cell_timeout_s=params["cell_timeout_s"],
-            fault_spec=params["fault_spec"])
+            fault_spec=params["fault_spec"],
+            trace=params.get("trace", False))
     except KeyError as exc:
         raise CheckpointError(
             f"{mpath}: suite manifest missing key {exc}") from exc

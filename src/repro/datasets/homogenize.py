@@ -98,8 +98,12 @@ class HomogenizedDataset:
 
 def homogenize(edges: EdgeList, out_dir: str | Path,
                n_roots: int = N_ROOTS_DEFAULT,
-               seed: int = 2) -> HomogenizedDataset:
-    """Write every per-system input file for ``edges`` under ``out_dir``."""
+               seed: int = 2, tracer=None) -> HomogenizedDataset:
+    """Write every per-system input file for ``edges`` under ``out_dir``.
+
+    ``tracer`` (optional :class:`~repro.observability.tracer.Tracer`)
+    records one ``dataset`` span per format written.
+    """
     out_dir = Path(out_dir)
     name = edges.name
     ddir = out_dir / name
@@ -115,20 +119,32 @@ def homogenize(edges: EdgeList, out_dir: str | Path,
 
     unweighted_el = EdgeList(edges.src, edges.dst, edges.n_vertices,
                              directed=edges.directed, name=name)
-    files["el"] = _rel(formats.write_el(unweighted_el, ddir / f"{name}.el"))
-    files["wel"] = _rel(formats.write_el(weighted_el, ddir / f"{name}.wel"))
-    files["sg"] = _rel(formats.write_sg(
-        edges, ddir / f"{name}.sg", symmetrize=not edges.directed))
-    files["wsg"] = _rel(formats.write_sg(
-        weighted_el, ddir / f"{name}.wsg", symmetrize=not edges.directed))
-    files["g500"] = _rel(formats.write_g500(weighted_el,
-                                            ddir / f"{name}.g500"))
-    files["mtxbin"] = _rel(formats.write_graphmat_bin(
-        weighted_el, ddir / f"{name}.mtxbin"))
-    files["tsv"] = _rel(formats.write_powergraph_tsv(
-        weighted_el, ddir / f"{name}.tsv"))
-    files["graphbig"] = _rel(formats.write_graphbig_csv(
-        weighted_el, ddir / "graphbig"))
+    writers = [
+        ("el", lambda: formats.write_el(unweighted_el,
+                                        ddir / f"{name}.el")),
+        ("wel", lambda: formats.write_el(weighted_el,
+                                         ddir / f"{name}.wel")),
+        ("sg", lambda: formats.write_sg(
+            edges, ddir / f"{name}.sg", symmetrize=not edges.directed)),
+        ("wsg", lambda: formats.write_sg(
+            weighted_el, ddir / f"{name}.wsg",
+            symmetrize=not edges.directed)),
+        ("g500", lambda: formats.write_g500(weighted_el,
+                                            ddir / f"{name}.g500")),
+        ("mtxbin", lambda: formats.write_graphmat_bin(
+            weighted_el, ddir / f"{name}.mtxbin")),
+        ("tsv", lambda: formats.write_powergraph_tsv(
+            weighted_el, ddir / f"{name}.tsv")),
+        ("graphbig", lambda: formats.write_graphbig_csv(
+            weighted_el, ddir / "graphbig")),
+    ]
+    for key, write in writers:
+        if tracer is not None:
+            with tracer.span(f"write:{key}", category="dataset",
+                             dataset=name):
+                files[key] = _rel(write())
+        else:
+            files[key] = _rel(write())
 
     roots = select_roots(edges, n_roots=n_roots, seed=seed)
     roots_path = ddir / "roots.txt"

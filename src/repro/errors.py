@@ -83,3 +83,8 @@ class CellQuarantinedError(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint manifest or suite manifest is missing or corrupt."""
+
+
+class TraceError(ReproError):
+    """A recorded trace is missing, malformed, or violates the span
+    schema (bad nesting, non-monotonic simulated timestamps)."""

@@ -9,6 +9,7 @@ under the ``repro`` namespace so applications keep full control).
 from __future__ import annotations
 
 import logging
+import sys
 import time
 from contextlib import contextmanager
 
@@ -34,15 +35,32 @@ def enable_console_logging(level: int = logging.INFO) -> None:
 
 
 @contextmanager
-def phase_timer(phase: str, logger: logging.Logger | None = None):
-    """Log phase entry/exit with wall-clock duration."""
+def phase_timer(phase: str, logger: logging.Logger | None = None,
+                tracer=None):
+    """Log phase entry/exit with wall-clock duration.
+
+    The closing line is emitted from ``finally`` so every exit path --
+    success, exception, or generator teardown -- gets one.  When a
+    :class:`~repro.observability.tracer.Tracer` is passed the phase
+    also becomes a ``pipeline`` span, so existing call sites grow
+    tracing by threading one optional argument through.
+    """
     log = logger or get_logger("repro.pipeline")
     log.info("%s: starting", phase)
     t0 = time.perf_counter()
+    span_cm = tracer.span(phase, category="pipeline") if tracer else None
+    if span_cm is not None:
+        span_cm.__enter__()
+    ok = False
     try:
         yield
-    except Exception:
-        log.error("%s: failed after %.2fs", phase,
-                  time.perf_counter() - t0)
-        raise
-    log.info("%s: done in %.2fs", phase, time.perf_counter() - t0)
+        ok = True
+    finally:
+        if span_cm is not None:
+            exc_type, exc, tb = (None, None, None) if ok else sys.exc_info()
+            span_cm.__exit__(exc_type, exc, tb)
+        elapsed = time.perf_counter() - t0
+        if ok:
+            log.info("%s: done in %.2fs", phase, elapsed)
+        else:
+            log.error("%s: failed after %.2fs", phase, elapsed)

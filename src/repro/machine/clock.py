@@ -11,6 +11,7 @@ real MSR counters integrate physical power.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.errors import ConfigError
 
@@ -43,6 +44,10 @@ class SimulatedClock:
     idle_dram_watts: float
     now: float = 0.0
     segments: list[PowerSegment] = field(default_factory=list)
+    #: Observer invoked (with this clock) after every ``advance``; the
+    #: tracer uses it to splice per-cell clocks into one suite timeline.
+    on_advance: Optional[Callable[["SimulatedClock"], None]] = field(
+        default=None, repr=False, compare=False)
 
     def advance(self, duration_s: float, pkg_watts: float | None = None,
                 dram_watts: float | None = None) -> PowerSegment:
@@ -63,6 +68,8 @@ class SimulatedClock:
         )
         self.now = seg.t1
         self.segments.append(seg)
+        if self.on_advance is not None:
+            self.on_advance(self)
         return seg
 
     def energy_between(self, t0: float, t1: float) -> tuple[float, float]:

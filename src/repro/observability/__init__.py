@@ -1,0 +1,28 @@
+"""Observability layer: tracing, metrics, and trace exporters.
+
+The paper argues that aggregate runtimes hide where time goes; this
+package makes the breakdown a recorded artifact of every run.  See
+``docs/observability.md`` for the event schema and export how-tos.
+"""
+
+from repro.observability.export import (chrome_trace, derive_metrics,
+                                        read_events, resolve_events_path,
+                                        span_events, validate_events,
+                                        write_chrome_trace)
+from repro.observability.metrics import (Counter, Gauge, Histogram,
+                                         METRIC_HELP, MetricsRegistry,
+                                         buckets_for)
+from repro.observability.timeline import (render_svg, render_text,
+                                          slowest_spans, span_tree)
+from repro.observability.tracer import (EVENTS_NAME, SCHEMA_VERSION,
+                                        Span, Tracer)
+
+__all__ = [
+    "Tracer", "Span", "EVENTS_NAME", "SCHEMA_VERSION",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "METRIC_HELP",
+    "buckets_for",
+    "read_events", "resolve_events_path", "span_events",
+    "validate_events", "chrome_trace", "write_chrome_trace",
+    "derive_metrics",
+    "span_tree", "render_text", "render_svg", "slowest_spans",
+]

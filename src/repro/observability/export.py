@@ -1,0 +1,212 @@
+"""Exporters and validators for recorded trace event logs.
+
+Everything here operates on the ``events.jsonl`` a
+:class:`~repro.observability.tracer.Tracer` wrote -- no live tracer is
+needed, so a finished (or crashed) run directory is always inspectable:
+
+* :func:`read_events` / :func:`validate_events` -- load the log and
+  check it against the span schema (well-formed parent nesting,
+  monotonic simulated timestamps).
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  trace-event format (``trace.json``), loadable in Perfetto or
+  chrome://tracing, on the simulated timeline.
+* :func:`derive_metrics` -- replay counter/observe/gauge events into a
+  fresh :class:`~repro.observability.metrics.MetricsRegistry`; this is
+  what ``epg metrics <dir>`` renders, and it reproduces the snapshot
+  the suite wrote at completion because both sides share bucket and
+  help tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.observability.metrics import MetricsRegistry, buckets_for
+from repro.observability.tracer import EVENTS_NAME, SCHEMA_VERSION
+
+__all__ = ["read_events", "validate_events", "span_events",
+           "chrome_trace", "write_chrome_trace", "derive_metrics",
+           "resolve_events_path"]
+
+#: Keys every span event must carry.
+_SPAN_KEYS = ("id", "parent", "name", "cat", "t0_wall", "t1_wall",
+              "t0_sim", "t1_sim", "attrs")
+
+
+def resolve_events_path(path: str | Path) -> Path:
+    """Accept a run directory, a trace directory, or the file itself."""
+    p = Path(path)
+    if p.is_file():
+        return p
+    for candidate in (p / EVENTS_NAME, p / "trace" / EVENTS_NAME):
+        if candidate.is_file():
+            return candidate
+    raise TraceError(f"no {EVENTS_NAME} under {p}")
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse every event line; raise :class:`TraceError` on bad JSON.
+
+    A torn final line with no trailing newline — the signature a
+    hard-killed writer leaves — is dropped rather than rejected, so a
+    crashed run's log stays inspectable before it is resumed.
+    """
+    p = resolve_events_path(path)
+    lines = p.read_text(encoding="utf-8").splitlines(keepends=True)
+    events: list[dict] = []
+    for i, raw in enumerate(lines, start=1):
+        torn = i == len(lines) and not raw.endswith("\n")
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if torn:
+                break
+            raise TraceError(f"{p}:{i}: malformed JSON: {exc}") from exc
+        if not isinstance(ev, dict) or "type" not in ev:
+            raise TraceError(f"{p}:{i}: event is not an object "
+                             "with a 'type' field")
+        events.append(ev)
+    if not events:
+        raise TraceError(f"{p}: empty event log")
+    return events
+
+
+def span_events(events: list[dict]) -> list[dict]:
+    return [ev for ev in events if ev.get("type") == "span"]
+
+
+def validate_events(events: list[dict]) -> dict:
+    """Check the span schema; return summary stats or raise TraceError.
+
+    Validates: schema version, per-span key completeness, unique span
+    ids, span intervals with ``t1 >= t0`` on both clocks, children
+    contained in their parent's simulated interval, and a monotonic
+    simulated timeline across the event stream as written.  Spans are
+    emitted at close, so a parent legally appears *after* its children
+    — and a hard-killed run legally loses still-open ancestors
+    entirely; such orphaned spans are counted, not rejected.
+    """
+    spans = span_events(events)
+    by_id: dict[int, dict] = {}
+    for ev in events:
+        if ev.get("type") == "meta":
+            version = ev.get("version")
+            if version != SCHEMA_VERSION:
+                raise TraceError(f"unsupported schema version {version!r}")
+    for ev in spans:
+        for key in _SPAN_KEYS:
+            if key not in ev:
+                raise TraceError(f"span missing key {key!r}: {ev}")
+        sid = ev["id"]
+        if sid in by_id:
+            raise TraceError(f"duplicate span id {sid}")
+        by_id[sid] = ev
+        if ev["t1_sim"] < ev["t0_sim"]:
+            raise TraceError(
+                f"span {sid} ({ev['name']}): t1_sim < t0_sim")
+        if ev["t1_wall"] < ev["t0_wall"]:
+            raise TraceError(
+                f"span {sid} ({ev['name']}): t1_wall < t0_wall")
+    roots = 0
+    orphans = 0
+    for ev in spans:
+        parent = ev["parent"]
+        if parent is None:
+            roots += 1
+            continue
+        pev = by_id.get(parent)
+        if pev is None:
+            # Spans are emitted at close, so a hard kill loses the
+            # still-open ancestors of already-closed spans.  A dangling
+            # parent id therefore marks an interrupted run, not a
+            # corrupt log; the span is treated as a root.
+            orphans += 1
+            continue
+        eps = 1e-9
+        if (ev["t0_sim"] < pev["t0_sim"] - eps
+                or ev["t1_sim"] > pev["t1_sim"] + eps):
+            raise TraceError(
+                f"span {ev['id']} ({ev['name']}) escapes its parent "
+                f"{parent} ({pev['name']}) on the simulated timeline")
+    # Monotonic simulated close times, in emission order.  Spans close
+    # LIFO, so each emitted t1_sim is the tracer's high-water mark.
+    last = 0.0
+    for ev in events:
+        t = ev.get("t1_sim", ev.get("t_sim"))
+        if isinstance(t, (int, float)):
+            if t < last - 1e-9:
+                raise TraceError(
+                    f"simulated timeline went backwards: {t} after {last}")
+            last = max(last, float(t))
+    return {"events": len(events), "spans": len(spans), "roots": roots,
+            "orphans": orphans, "sim_end_s": last,
+            "categories": sorted({ev["cat"] for ev in spans})}
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """Render spans as Chrome trace-event JSON on the simulated clock.
+
+    Spans become "X" (complete) events with microsecond timestamps;
+    metric counters become "C" events so Perfetto draws retry and
+    quarantine tracks alongside the span flame.
+    """
+    trace_events: list[dict] = [
+        {"ph": "M", "pid": 1, "name": "process_name",
+         "args": {"name": "epg simulated timeline"}},
+        {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+         "args": {"name": "harness"}},
+    ]
+    for ev in span_events(events):
+        args = dict(ev.get("attrs") or {})
+        args["wall_s"] = round(ev["t1_wall"] - ev["t0_wall"], 9)
+        trace_events.append({
+            "ph": "X", "pid": 1, "tid": 1,
+            "name": ev["name"], "cat": ev["cat"],
+            "ts": ev["t0_sim"] * 1e6,
+            "dur": max(ev["t1_sim"] - ev["t0_sim"], 0.0) * 1e6,
+            "args": args,
+        })
+    totals: dict[str, float] = {}
+    for ev in events:
+        if ev.get("type") != "counter":
+            continue
+        name = ev["name"]
+        totals[name] = totals.get(name, 0.0) + float(ev.get("inc", 1.0))
+        trace_events.append({
+            "ph": "C", "pid": 1, "name": name,
+            "ts": float(ev.get("t_sim", 0.0)) * 1e6,
+            "args": {"value": totals[name]},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: list[dict], out_path: str | Path) -> Path:
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(events)) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def derive_metrics(events: list[dict]) -> MetricsRegistry:
+    """Replay metric events into a fresh registry."""
+    reg = MetricsRegistry()
+    for ev in events:
+        kind = ev.get("type")
+        if kind not in ("counter", "observe", "gauge"):
+            continue
+        name = ev["name"]
+        labels = ev.get("labels") or {}
+        if kind == "counter":
+            reg.counter(name).inc(float(ev.get("inc", 1.0)), **labels)
+        elif kind == "observe":
+            reg.histogram(name, buckets=buckets_for(name)).observe(
+                float(ev["value"]), **labels)
+        else:
+            reg.gauge(name).set(float(ev["value"]), **labels)
+    return reg

@@ -1,0 +1,281 @@
+"""Hierarchical tracing: spans on both the wall and simulated clocks.
+
+The paper's central methodological point is that aggregate runtimes
+hide where time actually goes -- file read, construction, and algorithm
+must be separable (Sec. II).  The :class:`Tracer` makes that breakdown
+a first-class artifact of *every* run: each unit of harness work
+(suite, experiment, cell, execution attempt, kernel phase) is a span
+with a wall-clock interval, a simulated-clock interval, and free-form
+attributes (system, algorithm, root, retry index, failure reason,
+simulated RAPL energy).  Closed spans are appended as single JSON lines
+to ``<run>/trace/events.jsonl`` -- append-only, so checkpoint-resume
+extends the same timeline instead of clobbering it.
+
+Design points:
+
+* **Two clocks per span.**  Wall time measures what the harness itself
+  costs; simulated time is the priced timeline every figure in the
+  report is built from.  Exporters use the simulated timeline (it is
+  the deterministic one); wall durations ride along as attributes.
+* **One global simulated timeline.**  Cell and attempt clocks each
+  start at zero (so checkpointed records survive resume); the tracer
+  splices them into one monotonic timeline by following bound clocks
+  with max-seek semantics (:meth:`Tracer.bind_clock`).
+* **Disabled is free.**  ``Tracer()`` with no directory is a null
+  tracer: ``span()`` returns a shared no-op context manager and metric
+  calls return immediately, so instrumented code never branches.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.observability.metrics import MetricsRegistry, buckets_for
+
+__all__ = ["Span", "Tracer", "EVENTS_NAME", "SCHEMA_VERSION"]
+
+#: Event-log filename inside the tracer directory.
+EVENTS_NAME = "events.jsonl"
+
+#: Version stamped into every ``meta`` event; bump on schema changes.
+SCHEMA_VERSION = 1
+
+
+class Span:
+    """One open unit of work; becomes a ``span`` event when closed."""
+
+    __slots__ = ("name", "category", "span_id", "parent_id",
+                 "t0_wall", "t0_sim", "attrs")
+
+    def __init__(self, name: str, category: str, span_id: int,
+                 attrs: dict):
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id: int | None = None
+        self.t0_wall = 0.0
+        self.t0_sim = 0.0
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (e.g. status, energy)."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+class _NullSpanCM:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CM = _NullSpanCM()
+
+
+class _SpanCM:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        t = self._tracer
+        sp = self._span
+        sp.parent_id = t._stack[-1].span_id if t._stack else None
+        sp.t0_wall = t._wall()
+        sp.t0_sim = t.sim_now
+        t._stack.append(sp)
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._tracer
+        sp = t._stack.pop()
+        if exc_type is not None and "error" not in sp.attrs:
+            sp.attrs["error"] = exc_type.__name__
+        t._emit_span(sp)
+        return False
+
+
+class Tracer:
+    """Produces the run's span stream, event log, and live metrics.
+
+    ``Tracer(directory)`` opens (or, with ``resume=True``, appends to)
+    ``directory/events.jsonl``; ``Tracer()`` is the disabled null
+    tracer.  On resume the tracer recovers the previous session's
+    simulated-time high-water mark and next span id from the existing
+    log, so the appended timeline stays globally monotonic.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 resume: bool = False):
+        self.metrics = MetricsRegistry()
+        self.sim_now = 0.0
+        self._stack: list[Span] = []
+        self._fh = None
+        self._next_id = 1
+        self._t0 = time.perf_counter()
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path
+        resumed = False
+        if path.exists():
+            if resume:
+                resumed = self._recover(path)
+            else:
+                path.unlink()
+        self._fh = path.open("a", encoding="utf-8")
+        self._write({"type": "meta", "version": SCHEMA_VERSION,
+                     "resumed": resumed, "t_sim": self.sim_now,
+                     "wall_unix": time.time()})
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._fh is not None
+
+    @property
+    def path(self) -> Path | None:
+        return (self.directory / EVENTS_NAME
+                if self.directory is not None else None)
+
+    def _wall(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _recover(self, path: Path) -> bool:
+        """Recover sim high-water mark + next id from an existing log.
+
+        A hard-killed writer can leave a torn partial line at the tail
+        (no trailing newline); it is truncated away so the first
+        appended event does not concatenate onto it.
+        """
+        raw = path.read_bytes()
+        if raw and not raw.endswith(b"\n"):
+            with path.open("r+b") as fh:
+                fh.truncate(raw.rfind(b"\n") + 1)
+        found = False
+        with path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    ev = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                found = True
+                t = ev.get("t1_sim", ev.get("t_sim"))
+                if isinstance(t, (int, float)):
+                    self.sim_now = max(self.sim_now, float(t))
+                if ev.get("type") == "span":
+                    self._next_id = max(self._next_id,
+                                        int(ev.get("id", 0)) + 1)
+        return found
+
+    def _write(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True, default=str)
+                       + "\n")
+
+    def _emit_span(self, sp: Span) -> None:
+        self._write({
+            "type": "span", "id": sp.span_id, "parent": sp.parent_id,
+            "name": sp.name, "cat": sp.category,
+            "t0_wall": round(sp.t0_wall, 9),
+            "t1_wall": round(self._wall(), 9),
+            "t0_sim": sp.t0_sim, "t1_sim": self.sim_now,
+            "attrs": sp.attrs,
+        })
+        # Cell boundaries are the natural durability points: flush so a
+        # killed run's log still holds every finished cell.
+        if sp.category in ("cell", "pipeline"):
+            self._fh.flush()
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "harness", **attrs):
+        """Context manager for one span; yields the :class:`Span`."""
+        if self._fh is None:
+            return _NULL_CM
+        sp = Span(name, category, self._next_id, attrs)
+        self._next_id += 1
+        return _SpanCM(self, sp)
+
+    # ------------------------------------------------------------------
+    # Simulated timeline
+    # ------------------------------------------------------------------
+    def sim_seek(self, t: float) -> None:
+        """Move the global simulated clock forward to ``t`` (monotone)."""
+        if t > self.sim_now:
+            self.sim_now = t
+
+    def advance_sim(self, dt: float) -> None:
+        if dt > 0:
+            self.sim_now += dt
+
+    def bind_clock(self, clock) -> None:
+        """Splice a :class:`~repro.machine.clock.SimulatedClock` into
+        the global timeline: every ``advance`` on the clock seeks the
+        tracer to (bind offset + clock.now).  Cell/attempt clocks each
+        start at zero; binding maps them onto the suite timeline."""
+        if self._fh is None:
+            return
+        base = self.sim_now - clock.now
+
+        def _follow(c) -> None:
+            self.sim_seek(base + c.now)
+
+        clock.on_advance = _follow
+
+    # ------------------------------------------------------------------
+    # Metrics (mirrored into the event log)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, inc: float = 1.0, **labels) -> None:
+        if self._fh is None:
+            return
+        self.metrics.counter(name).inc(inc, **labels)
+        self._write({"type": "counter", "name": name, "labels": labels,
+                     "inc": inc, "t_sim": self.sim_now})
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if self._fh is None:
+            return
+        self.metrics.histogram(name, buckets=buckets_for(name)).observe(
+            value, **labels)
+        self._write({"type": "observe", "name": name, "labels": labels,
+                     "value": float(value), "t_sim": self.sim_now})
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        if self._fh is None:
+            return
+        self.metrics.gauge(name).set(value, **labels)
+        self._write({"type": "gauge", "name": name, "labels": labels,
+                     "value": float(value), "t_sim": self.sim_now})
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the event log; the tracer becomes disabled."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        self._fh.close()
+        self._fh = None

@@ -20,6 +20,7 @@ from repro.errors import CellTimeoutError, ReproError
 from repro.logging_util import get_logger
 from repro.machine.clock import SimulatedClock
 from repro.machine.variance import VarianceModel
+from repro.observability import Tracer
 from repro.resilience.faults import FaultInjector, InjectedCrashError
 from repro.resilience.retry import AttemptRecord, RetryPolicy
 
@@ -80,59 +81,101 @@ class CellSupervisor:
                  n_threads: int) -> CellOutcome:
         """Run one cell to a terminal outcome; never raises ReproError."""
         cid = cell_id(system, algorithm, n_threads)
+        tracer = getattr(self.runner, "tracer", None) or Tracer()
         machine = self.runner.config.machine
         # Harness-side timeline for this cell: attempt windows and
         # backoff sleeps, all simulated, all starting at 0 so records
         # are identical whether the cell ran first or after a resume.
         clock = SimulatedClock(idle_pkg_watts=machine.idle_pkg_watts,
                                idle_dram_watts=machine.idle_dram_watts)
+        tracer.bind_clock(clock)
         attempts: list[AttemptRecord] = []
-        for attempt in range(self.policy.max_attempts):
-            fault = None
-            if self.injector is not None:
-                fault = self.injector.fault_for(system, algorithm,
-                                                n_threads, attempt)
-                if fault is not None and fault.kind == "hang":
-                    # A hang is only observed at the deadline.
-                    fault = type(fault)(kind="hang",
-                                        seconds=self.policy.timeout_s)
-            started = clock.now
-            try:
-                path = self.runner.run_system_algorithm(
-                    system, algorithm, n_threads, fault=fault)
-            except (InjectedCrashError, CellTimeoutError, ReproError) as exc:
-                clock.advance(self.runner.last_cell_seconds)
-                status = ("timeout" if isinstance(exc, CellTimeoutError)
-                          else "crash" if isinstance(exc, InjectedCrashError)
-                          else "error")
-                backoff = None
-                if attempt + 1 < self.policy.max_attempts:
-                    backoff = self._backoff_s(system, algorithm,
-                                              n_threads, attempt)
+        with tracer.span(f"cell:{cid}", category="cell", system=system,
+                         algorithm=algorithm,
+                         n_threads=n_threads) as cell_sp:
+            for attempt in range(self.policy.max_attempts):
+                fault = None
+                if self.injector is not None:
+                    fault = self.injector.fault_for(system, algorithm,
+                                                    n_threads, attempt)
+                    if fault is not None and fault.kind == "hang":
+                        # A hang is only observed at the deadline.
+                        fault = type(fault)(kind="hang",
+                                            seconds=self.policy.timeout_s)
+                started = clock.now
+                failure = None
+                path = None
+                # Every attempt is a sibling span under the cell span;
+                # failed ones carry the failure reason as an attribute.
+                with tracer.span(f"attempt:{attempt}", category="attempt",
+                                 cell=cid, retry_index=attempt) as asp:
+                    try:
+                        path = self.runner.run_system_algorithm(
+                            system, algorithm, n_threads, fault=fault)
+                    except (InjectedCrashError, CellTimeoutError,
+                            ReproError) as exc:
+                        clock.advance(self.runner.last_cell_seconds)
+                        status = (
+                            "timeout" if isinstance(exc, CellTimeoutError)
+                            else "crash"
+                            if isinstance(exc, InjectedCrashError)
+                            else "error")
+                        failure = (exc, status)
+                        asp.set(status=status,
+                                failure_reason=f"{type(exc).__name__}: "
+                                               f"{exc}")
+                    else:
+                        clock.advance(self.runner.last_cell_seconds)
+                        asp.set(status="ok" if path is not None
+                                else "unsupported")
+                if failure is not None:
+                    exc, status = failure
+                    tracer.counter("epg_attempts_total", system=system,
+                                   algorithm=algorithm, status=status)
+                    backoff = None
+                    if attempt + 1 < self.policy.max_attempts:
+                        backoff = self._backoff_s(system, algorithm,
+                                                  n_threads, attempt)
+                    attempts.append(AttemptRecord(
+                        attempt=attempt, status=status,
+                        error=f"{type(exc).__name__}: {exc}",
+                        started_s=started, ended_s=clock.now,
+                        backoff_s=backoff))
+                    if backoff is not None:
+                        clock.advance(backoff)  # idle: the harness sleeps
+                        tracer.counter("epg_retries_total", system=system,
+                                       algorithm=algorithm)
+                        tracer.counter("epg_backoff_seconds_total",
+                                       inc=backoff, system=system,
+                                       algorithm=algorithm)
+                        self._log.info(
+                            "retrying %s after %s (backoff %.3fs)",
+                            cid, type(exc).__name__, backoff)
+                    continue
+                if path is None:
+                    # Capability hole, not a failure: no retry, no
+                    # attempt spent -- the paper's PowerGraph-has-no-BFS
+                    # case.
+                    cell_sp.set(status="unsupported")
+                    tracer.counter("epg_cells_total", status="unsupported")
+                    return CellOutcome(cell=cid, status="unsupported",
+                                       log=None, attempts=())
+                tracer.counter("epg_attempts_total", system=system,
+                               algorithm=algorithm, status="ok")
                 attempts.append(AttemptRecord(
-                    attempt=attempt, status=status,
-                    error=f"{type(exc).__name__}: {exc}",
-                    started_s=started, ended_s=clock.now,
-                    backoff_s=backoff))
-                if backoff is not None:
-                    clock.advance(backoff)   # idle: the harness sleeps
-                    self._log.info("retrying %s after %s (backoff %.3fs)",
-                                   cid, type(exc).__name__, backoff)
-                continue
-            clock.advance(self.runner.last_cell_seconds)
-            if path is None:
-                # Capability hole, not a failure: no retry, no attempt
-                # spent -- the paper's PowerGraph-has-no-BFS case.
-                return CellOutcome(cell=cid, status="unsupported",
-                                   log=None, attempts=())
-            attempts.append(AttemptRecord(
-                attempt=attempt, status="ok", error=None,
-                started_s=started, ended_s=clock.now))
-            rel = Path(path).relative_to(
-                self.runner.config.output_dir).as_posix()
-            return CellOutcome(cell=cid, status="completed", log=rel,
+                    attempt=attempt, status="ok", error=None,
+                    started_s=started, ended_s=clock.now))
+                rel = Path(path).relative_to(
+                    self.runner.config.output_dir).as_posix()
+                cell_sp.set(status="completed")
+                tracer.counter("epg_cells_total", status="completed")
+                return CellOutcome(cell=cid, status="completed", log=rel,
+                                   attempts=tuple(attempts))
+            self._log.warning("quarantining %s after %d attempt(s)",
+                              cid, len(attempts))
+            cell_sp.set(status="quarantined")
+            tracer.counter("epg_quarantines_total", system=system,
+                           algorithm=algorithm)
+            tracer.counter("epg_cells_total", status="quarantined")
+            return CellOutcome(cell=cid, status="quarantined", log=None,
                                attempts=tuple(attempts))
-        self._log.warning("quarantining %s after %d attempt(s)",
-                          cid, len(attempts))
-        return CellOutcome(cell=cid, status="quarantined", log=None,
-                           attempts=tuple(attempts))

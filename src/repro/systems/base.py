@@ -22,6 +22,7 @@ from repro.errors import SystemCapabilityError
 from repro.graph.edgelist import EdgeList
 from repro.machine.spec import MachineSpec, haswell_server
 from repro.machine.threads import SimResult, ThreadModel, WorkProfile
+from repro.observability import Tracer
 from repro.power.energy import PowerParams
 from repro.systems import calibration
 
@@ -97,6 +98,8 @@ class GraphSystem(ABC):
         self.machine = machine or haswell_server()
         self.n_threads = int(n_threads)
         self.thread_model = ThreadModel(self.machine)
+        #: Observability hook; the runner swaps in its live tracer.
+        self.tracer = Tracer()
 
     # ------------------------------------------------------------------
     # Capabilities
@@ -185,15 +188,28 @@ class GraphSystem(ABC):
         if algorithm in ("bfs", "sssp") and root is None:
             raise SystemCapabilityError(f"{algorithm} requires a root")
         method = getattr(self, f"_run_{algorithm}")
-        if algorithm in ("bfs", "sssp"):
-            output, profile, iterations, counters = method(
-                loaded, int(root), **params)
-        else:
-            output, profile, iterations, counters = method(loaded, **params)
-        sim = self.thread_model.simulate(
-            profile,
-            calibration.cost_params(self.name, algorithm, self.machine),
-            self.n_threads)
+        with self.tracer.span(f"exec:{self.name}/{algorithm}",
+                              category="exec", system=self.name,
+                              algorithm=algorithm, root=root,
+                              n_threads=self.n_threads) as sp:
+            if algorithm in ("bfs", "sssp"):
+                output, profile, iterations, counters = method(
+                    loaded, int(root), **params)
+            else:
+                output, profile, iterations, counters = method(
+                    loaded, **params)
+            sim = self.thread_model.simulate(
+                profile,
+                calibration.cost_params(self.name, algorithm,
+                                        self.machine),
+                self.n_threads)
+            sp.set(time_s=sim.time_s, iterations=iterations)
+        self.tracer.observe("epg_kernel_seconds", sim.time_s,
+                            system=self.name, algorithm=algorithm)
+        edges = counters.get("edges_examined", loaded.n_arcs)
+        if edges and sim.time_s > 0:
+            self.tracer.observe("epg_kernel_teps", edges / sim.time_s,
+                                system=self.name, algorithm=algorithm)
         return KernelResult(
             system=self.name, algorithm=algorithm, time_s=sim.time_s,
             sim=sim, profile=profile, output=output, root=root,
