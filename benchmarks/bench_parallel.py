@@ -1,0 +1,60 @@
+"""Parallel scheduler gate: speedup without a single changed byte.
+
+Runs the paper suite at bench scale serially and with ``jobs=4``, and
+asserts the two REPORT.md files are byte-identical -- the scheduler's
+core invariant, checked at gate scale on every benchmark run.  The
+>= 2x speedup assertion additionally requires at least four physical
+cores: on smaller machines (CI containers are often 1-2 cores) the
+fork + pickle overhead legitimately exceeds the win, so the timing
+half of the gate is skipped there while the byte-identity half always
+runs.
+"""
+
+import os
+import time
+
+import pytest
+from conftest import BENCH_ROOTS, BENCH_SCALE, write_artifact
+
+from repro.core.suite import run_paper_suite
+
+SPEEDUP_FLOOR = 2.0
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+def test_parallel_gate(benchmark, tmp_path_factory):
+    serial_out = tmp_path_factory.mktemp("bench-par-serial")
+    parallel_out = tmp_path_factory.mktemp("bench-par-jobs4")
+    params = dict(scale=BENCH_SCALE, n_roots=BENCH_ROOTS,
+                  render_svg=False)
+
+    t0 = time.perf_counter()
+    serial_report = run_paper_suite(serial_out, jobs=1, **params)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_report = benchmark.pedantic(
+        run_paper_suite, args=(parallel_out,),
+        kwargs=dict(jobs=4, **params), rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - t0
+
+    assert parallel_report.read_bytes() == serial_report.read_bytes(), \
+        "jobs=4 changed REPORT.md bytes -- determinism invariant broken"
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    write_artifact(
+        "parallel_gate.txt",
+        f"cores: {cores}\n"
+        f"serial_s: {serial_s:.2f}\n"
+        f"jobs4_s: {parallel_s:.2f}\n"
+        f"speedup: {speedup:.2f}x\n"
+        f"byte_identical: true")
+    print(f"\nserial {serial_s:.2f}s  jobs=4 {parallel_s:.2f}s  "
+          f"speedup {speedup:.2f}x  ({cores} cores)")
+
+    if cores < MIN_CORES_FOR_SPEEDUP:
+        pytest.skip(f"{cores} core(s): speedup assertion needs "
+                    f">= {MIN_CORES_FOR_SPEEDUP}; byte-identity checked")
+    assert speedup >= SPEEDUP_FLOOR, \
+        f"jobs=4 speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x floor"

@@ -92,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--fault-spec", default=None,
                         help="inject deterministic faults, e.g. "
                              "'gap/bfs/t32:crash:2' (testing)")
+        sp.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for the run phase "
+                             "(default: one per CPU core; results are "
+                             "identical at any value)")
 
     for name, help_ in (
             ("setup", "phase 1: verify systems, persist config"),
@@ -151,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--trace", action="store_true",
                     help="record hierarchical spans + metrics under "
                          "<output>/trace/")
+    sp.add_argument("--jobs", "-j", type=int, default=None,
+                    help="worker processes for experiment cells "
+                         "(default: one per CPU core; the report is "
+                         "byte-identical at any value)")
 
     sp = sub.add_parser(
         "resume",
@@ -158,6 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
              "checkpoints")
     sp.add_argument("output", type=Path,
                     help="the interrupted suite's output directory")
+    sp.add_argument("--jobs", "-j", type=int, default=None,
+                    help="override the interrupted run's worker count")
 
     sp = sub.add_parser(
         "verify", help="check an experiment dir against provenance.json")
@@ -197,6 +207,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from_args(args) -> ExperimentConfig:
+    from repro.parallel import resolve_jobs
+
     return ExperimentConfig(
         output_dir=args.output,
         dataset=args.dataset,
@@ -211,6 +223,7 @@ def _config_from_args(args) -> ExperimentConfig:
         max_retries=args.max_retries,
         cell_timeout_s=args.cell_timeout,
         fault_spec=args.fault_spec,
+        jobs=resolve_jobs(args.jobs),
     )
 
 
@@ -276,6 +289,7 @@ def _dispatch(args) -> int:
 
     if args.command == "reproduce":
         from repro.core.suite import run_paper_suite
+        from repro.parallel import resolve_jobs
 
         report = run_paper_suite(args.output, scale=args.scale,
                                  n_roots=args.roots, seed=args.seed,
@@ -284,7 +298,8 @@ def _dispatch(args) -> int:
                                  max_retries=args.max_retries,
                                  cell_timeout_s=args.cell_timeout,
                                  fault_spec=args.fault_spec,
-                                 trace=args.trace)
+                                 trace=args.trace,
+                                 jobs=resolve_jobs(args.jobs))
         print(f"wrote {report}")
         _warn_if_degraded(args.output)
         return 0
@@ -292,7 +307,7 @@ def _dispatch(args) -> int:
     if args.command == "resume":
         from repro.core.suite import resume_paper_suite
 
-        report = resume_paper_suite(args.output)
+        report = resume_paper_suite(args.output, jobs=args.jobs)
         print(f"wrote {report}")
         _warn_if_degraded(args.output)
         return 0

@@ -73,6 +73,11 @@ class ExperimentConfig:
     #: Fault-injection spec (see :mod:`repro.resilience.faults` for the
     #: grammar); None disables injection.
     fault_spec: str | None = None
+    #: Worker processes for the run phase (``epg run --jobs``); None or
+    #: 1 executes serially.  Excluded from :meth:`to_dict` -- the job
+    #: count is an execution detail that must not perturb checkpoint
+    #: digests or provenance (results are identical at any level).
+    jobs: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "output_dir", Path(self.output_dir))
@@ -110,6 +115,8 @@ class ExperimentConfig:
             from repro.resilience.faults import parse_fault_spec
 
             parse_fault_spec(self.fault_spec)  # raises ConfigError if bad
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
 
     # ------------------------------------------------------------------
     @property

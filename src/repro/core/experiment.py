@@ -111,7 +111,7 @@ class Experiment:
     # ------------------------------------------------------------------
     # Phase 3
     # ------------------------------------------------------------------
-    def run(self) -> list[Path]:
+    def run(self, pool=None) -> list[Path]:
         """Phase 3: execute every requested cell; return log paths.
 
         Every cell runs under a :class:`CellSupervisor` (retry /
@@ -120,50 +120,128 @@ class Experiment:
         same configuration skips completed cells entirely, which is
         what makes ``epg resume`` (and plain rerun-after-crash) cheap
         and byte-identical.
+
+        ``pool`` is an optional :class:`repro.parallel.CellPool`: the
+        independent cells fan out to its workers and their results are
+        committed -- checkpoint record, trace splice, outcome ledger --
+        strictly in canonical cell order, so the report and trace are
+        byte-identical to a serial run's.  Without a pool, a
+        ``config.jobs`` greater than one creates a private pool for
+        this call.
         """
         if self.dataset is None:
             self.homogenize()
-        runner = Runner(self.config, self.dataset, tracer=self.tracer)
         checkpoint = SuiteCheckpoint.load_or_create(
             self.config.output_dir, self.config)
+        self.cell_outcomes = []
+        paths: list[Path] = []
+        own_pool = None
+        if pool is None and (self.config.jobs or 1) > 1:
+            from repro.parallel import CellPool
+
+            shard_root = (self.tracer.directory / "workers"
+                          if self.tracer.enabled else None)
+            own_pool = pool = CellPool(self.config.jobs,
+                                       shard_root=shard_root)
+        try:
+            with phase_timer("run", self._log, tracer=self.tracer):
+                if pool is not None and pool.parallel:
+                    self._run_parallel(pool, checkpoint, paths)
+                else:
+                    self._run_serial(checkpoint, paths)
+        finally:
+            if own_pool is not None:
+                own_pool.close()
+        return paths
+
+    def _cells(self) -> list[tuple[str, str, int]]:
+        """Canonical cell order: the serial visit order."""
+        return [(system, algorithm, n_threads)
+                for n_threads in self.config.thread_counts
+                for system in self.config.systems
+                for algorithm in self.config.algorithms]
+
+    def _run_serial(self, checkpoint: SuiteCheckpoint,
+                    paths: list[Path]) -> None:
+        runner = Runner(self.config, self.dataset, tracer=self.tracer)
         injector = (FaultInjector(self.config.seed, self.config.fault_spec)
                     if self.config.fault_spec else None)
         supervisor = CellSupervisor(
             runner, RetryPolicy.from_config(self.config),
             injector=injector)
-        self.cell_outcomes = []
-        paths: list[Path] = []
-        with phase_timer("run", self._log, tracer=self.tracer):
-            for n_threads in self.config.thread_counts:
-                for system in self.config.systems:
-                    for algorithm in self.config.algorithms:
-                        cid = cell_id(system, algorithm, n_threads)
-                        outcome = checkpoint.get(cid)
-                        if outcome is None:
-                            outcome = supervisor.run_cell(
-                                system, algorithm, n_threads)
-                            checkpoint.record(outcome)
-                        else:
-                            self.tracer.counter(
-                                "epg_checkpoint_hits_total", cell=cid)
-                            self._log.debug("checkpoint: %s already %s",
-                                            cid, outcome.status)
-                        self.cell_outcomes.append(outcome)
-                        if outcome.status == "completed":
-                            p = self.config.output_dir / outcome.log
-                            self._log.info("ran %s/%s (t=%d) -> %s",
-                                           system, algorithm,
-                                           n_threads, p.name)
-                            paths.append(p)
-                        elif outcome.status == "unsupported":
-                            self._log.debug(
-                                "skipped %s/%s (t=%d): not supported",
-                                system, algorithm, n_threads)
-                        else:
-                            self._log.warning(
-                                "quarantined %s after %d attempt(s)",
-                                cid, len(outcome.attempts))
-        return paths
+        for system, algorithm, n_threads in self._cells():
+            cid = cell_id(system, algorithm, n_threads)
+            outcome = checkpoint.get(cid)
+            if outcome is None:
+                if self.tracer.enabled:
+                    # Route the cell through the same capture/splice a
+                    # parallel worker uses, so every simulated stamp is
+                    # computed cell-locally and shifted by exactly one
+                    # addition -- bit-identical either way.  Bonus: an
+                    # interrupted cell's partial events never reach the
+                    # log, so a traced resume stays byte-identical too.
+                    self.tracer.begin_capture(reset_sim=True, divert=True)
+                    try:
+                        outcome = supervisor.run_cell(
+                            system, algorithm, n_threads)
+                    finally:
+                        events = self.tracer.take_capture()
+                    self.tracer.ingest_cell_events(events)
+                else:
+                    outcome = supervisor.run_cell(
+                        system, algorithm, n_threads)
+                checkpoint.record(outcome)
+            else:
+                self.tracer.counter("epg_checkpoint_hits_total", cell=cid)
+                self._log.debug("checkpoint: %s already %s",
+                                cid, outcome.status)
+            self._finish_cell(system, algorithm, n_threads, outcome, paths)
+
+    def _run_parallel(self, pool, checkpoint: SuiteCheckpoint,
+                      paths: list[Path]) -> None:
+        cells = self._cells()
+        # Fork safety: children inherit this file handle, and their
+        # exit-time flush would duplicate whatever it still buffers.
+        self.tracer.flush()
+        futures = {}
+        for system, algorithm, n_threads in cells:
+            cid = cell_id(system, algorithm, n_threads)
+            if checkpoint.get(cid) is None:
+                futures[cid] = pool.submit_cell(
+                    self.config, self.dataset, system, algorithm,
+                    n_threads)
+        # Commit sweep: canonical order, regardless of completion
+        # order.  An interrupt here loses only uncommitted cells; the
+        # checkpoint always holds a canonical prefix, so resume reruns
+        # exactly the missing tail.
+        for system, algorithm, n_threads in cells:
+            cid = cell_id(system, algorithm, n_threads)
+            fut = futures.get(cid)
+            if fut is None:
+                outcome = checkpoint.get(cid)
+                self.tracer.counter("epg_checkpoint_hits_total", cell=cid)
+                self._log.debug("checkpoint: %s already %s",
+                                cid, outcome.status)
+            else:
+                outcome, events = fut.result()
+                self.tracer.ingest_cell_events(events)
+                checkpoint.record(outcome)
+            self._finish_cell(system, algorithm, n_threads, outcome, paths)
+
+    def _finish_cell(self, system: str, algorithm: str, n_threads: int,
+                     outcome: CellOutcome, paths: list[Path]) -> None:
+        self.cell_outcomes.append(outcome)
+        if outcome.status == "completed":
+            p = self.config.output_dir / outcome.log
+            self._log.info("ran %s/%s (t=%d) -> %s", system, algorithm,
+                           n_threads, p.name)
+            paths.append(p)
+        elif outcome.status == "unsupported":
+            self._log.debug("skipped %s/%s (t=%d): not supported",
+                            system, algorithm, n_threads)
+        else:
+            self._log.warning("quarantined %s after %d attempt(s)",
+                              outcome.cell, len(outcome.attempts))
 
     @property
     def quarantined(self) -> list[CellOutcome]:
@@ -210,10 +288,10 @@ class Experiment:
         return Analysis(self.records, machine=self.config.machine)
 
     # ------------------------------------------------------------------
-    def run_all(self):
+    def run_all(self, pool=None):
         """All five phases, start to finish."""
         self.setup()
         self.homogenize()
-        self.run()
+        self.run(pool=pool)
         self.parse()
         return self.analyze()

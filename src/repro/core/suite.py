@@ -31,6 +31,7 @@ final REPORT.md is byte-identical to an uninterrupted run's.
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
 
 from repro.core.analysis import Analysis
@@ -70,7 +71,8 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
                     max_retries: int = 2,
                     cell_timeout_s: float | None = None,
                     fault_spec: str | None = None,
-                    trace: bool = False) -> Path:
+                    trace: bool = False,
+                    jobs: int | None = None) -> Path:
     """Run everything; return the REPORT.md path.
 
     ``resume=False`` (the default) starts fresh, clearing any
@@ -79,29 +81,41 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
     ``trace=True`` records the whole run as hierarchical spans under
     ``<out>/trace/`` (event log, Chrome trace, Prometheus snapshot,
     timeline SVG) and appends an Observability section to REPORT.md.
+    ``jobs`` greater than one fans independent cells out to that many
+    worker processes (``epg reproduce --jobs``); results are committed
+    in canonical order, so the report is byte-identical to a serial
+    run's (see ``docs/parallel.md``).  ``None`` means serial here; the
+    CLI resolves its default to the machine's core count.
     """
+    from repro.parallel import CellPool, resolve_jobs
+
+    jobs = 1 if jobs is None else resolve_jobs(jobs)
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    shard_root = out_dir / "trace" / "workers"
     if not resume:
         for sub in _SUBDIRS:
             SuiteCheckpoint.clear(out_dir / sub)
+        shutil.rmtree(shard_root, ignore_errors=True)
     atomic_write_json(out_dir / SUITE_MANIFEST, {
         "scale": scale, "n_roots": n_roots, "seed": seed,
         "render_svg": render_svg, "max_retries": max_retries,
         "cell_timeout_s": cell_timeout_s, "fault_spec": fault_spec,
-        "trace": trace,
+        "trace": trace, "jobs": jobs,
     })
     resilience = dict(max_retries=max_retries,
                       cell_timeout_s=cell_timeout_s,
                       fault_spec=fault_spec)
     tracer = (Tracer(out_dir / "trace", resume=resume) if trace
               else Tracer())
+    pool = (CellPool(jobs, shard_root=shard_root if trace else None)
+            if jobs > 1 else None)
     try:
         with tracer.span("suite", category="suite", scale=scale,
                          n_roots=n_roots, seed=seed):
             sections, kron = _suite_sections(
                 out_dir, scale, n_roots, seed, render_svg, resilience,
-                tracer)
+                tracer, pool)
         observability = None
         if tracer.enabled:
             observability = _export_trace(tracer, render_svg)
@@ -114,6 +128,8 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
                         embed_figures=render_svg,
                         observability=observability)
     finally:
+        if pool is not None:
+            pool.close()
         tracer.close()
 
     report = out_dir / "REPORT.md"
@@ -145,7 +161,8 @@ def _export_trace(tracer: Tracer, want_svg: bool) -> str:
 
 def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
                     render_svg: bool, resilience: dict,
-                    tracer: Tracer) -> tuple[list[str], Analysis]:
+                    tracer: Tracer, pool=None
+                    ) -> tuple[list[str], Analysis]:
     """Run every experiment; return (REPORT sections, kron analysis)."""
     sections: list[str] = [
         "# easy-parallel-graph-* full reproduction report",
@@ -161,7 +178,7 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
     kron_exp = Experiment(kron_cfg, tracer=tracer)
     with tracer.span("experiment:kron", category="experiment",
                      dataset="kronecker", scale=scale):
-        kron = kron_exp.run_all()
+        kron = kron_exp.run_all(pool=pool)
     for fig, caption in (("fig2", "Fig 2: BFS time and construction"),
                          ("fig3", "Fig 3: SSSP time and construction"),
                          ("fig4", "Fig 4: PageRank time / iterations"),
@@ -196,7 +213,7 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
         exp = Experiment(cfg, tracer=tracer)
         with tracer.span(f"experiment:{sub}", category="experiment",
                          dataset=ds):
-            rw_records.extend(exp.run_all().records)
+            rw_records.extend(exp.run_all(pool=pool).records)
         rw_exps[sub] = exp
     merged = Analysis(rw_records, machine=kron_cfg.machine)
     sections.append(_section("Fig 8: real-world comparison",
@@ -221,7 +238,7 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
     scaling_exp = Experiment(scaling_cfg, tracer=tracer)
     with tracer.span("experiment:scaling", category="experiment",
                      dataset="kronecker"):
-        scaling = scaling_exp.run_all()
+        scaling = scaling_exp.run_all(pool=pool)
     # Quarantined cells degrade a system's curve to absence, the way
     # the paper's figures simply omit what would not run.
     bench_speedups = {}
@@ -247,12 +264,16 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
     pat_ds = load_manifest(out_dir / "pat" / "datasets" / "cit-Patents")
     kron_ds = load_manifest(
         out_dir / "kron" / "datasets" / f"kron-scale{scale}")
-    t1 = harness.run_matrix(dota_ds) + harness.run_matrix(pat_ds)
+    # Fork safety before a submission batch (see repro.parallel).
+    tracer.flush()
+    t1 = (harness.run_matrix(dota_ds, pool=pool)
+          + harness.run_matrix(pat_ds, pool=pool))
     sections.append(_section(
         "Table I: Graphalytics on the real-world datasets",
         render_table(t1)))
     t2 = harness.run_matrix(
-        kron_ds, algorithms=("cdlp", "pagerank", "lcc", "wcc", "bfs"))
+        kron_ds, algorithms=("cdlp", "pagerank", "lcc", "wcc", "bfs"),
+        pool=pool)
     sections.append(_section(
         "Table II: Graphalytics on the Kronecker graph",
         render_table(t2)))
@@ -284,14 +305,18 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
     return sections, kron
 
 
-def resume_paper_suite(out_dir: str | Path) -> Path:
+def resume_paper_suite(out_dir: str | Path,
+                       jobs: int | None = None) -> Path:
     """Continue an interrupted ``run_paper_suite`` invocation.
 
     Reads the parameters the interrupted run recorded in ``suite.json``
     and re-enters the suite with ``resume=True``: completed cells are
     skipped (their outcomes reload from each experiment's
     ``checkpoint.json``) and the final REPORT.md is byte-identical to
-    what the uninterrupted run would have produced.
+    what the uninterrupted run would have produced.  ``jobs`` overrides
+    the interrupted run's worker count (the default reuses it) -- the
+    job count never affects results, so resuming a ``--jobs 8`` run
+    serially, or vice versa, is safe.
     """
     out_dir = Path(out_dir)
     mpath = out_dir / SUITE_MANIFEST
@@ -310,7 +335,8 @@ def resume_paper_suite(out_dir: str | Path) -> Path:
             resume=True, max_retries=params["max_retries"],
             cell_timeout_s=params["cell_timeout_s"],
             fault_spec=params["fault_spec"],
-            trace=params.get("trace", False))
+            trace=params.get("trace", False),
+            jobs=jobs if jobs is not None else params.get("jobs", 1))
     except KeyError as exc:
         raise CheckpointError(
             f"{mpath}: suite manifest missing key {exc}") from exc

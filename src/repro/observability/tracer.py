@@ -127,6 +127,9 @@ class Tracer:
         self._stack: list[Span] = []
         self._fh = None
         self._next_id = 1
+        self._capture: list[dict] | None = None
+        self._divert = False
+        self._capture_prior: tuple[float, int] | None = None
         self._t0 = time.perf_counter()
         self.directory = Path(directory) if directory is not None else None
         if self.directory is None:
@@ -188,6 +191,10 @@ class Tracer:
         return found
 
     def _write(self, event: dict) -> None:
+        if self._capture is not None:
+            self._capture.append(event)
+            if self._divert:
+                return
         self._fh.write(json.dumps(event, sort_keys=True, default=str)
                        + "\n")
 
@@ -215,6 +222,118 @@ class Tracer:
         sp = Span(name, category, self._next_id, attrs)
         self._next_id += 1
         return _SpanCM(self, sp)
+
+    @property
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span (None outside any span)."""
+        return self._stack[-1].span_id if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Cross-process capture + merge (repro.parallel)
+    # ------------------------------------------------------------------
+    def begin_capture(self, *, reset_sim: bool = False,
+                      divert: bool = False) -> None:
+        """Start buffering emitted events as a cell-relative group.
+
+        The worker side of process-parallel execution wraps each cell
+        in ``begin_capture(reset_sim=True)`` / :meth:`take_capture`:
+        the captured group travels back to the parent in the task
+        result, where :meth:`ingest_cell_events` splices it onto the
+        parent's global timeline.  ``reset_sim=True`` rewinds this
+        tracer's simulated clock to zero first, so every captured
+        group is cell-relative (the worker's shard file on disk is
+        therefore a sequence of cell-relative timelines, not one
+        global one).
+
+        ``divert=True`` is the *serial* flavour: buffered events are
+        kept out of the file and the live metrics registry, and the
+        simulated clock and span-id counter are restored by
+        :meth:`take_capture`, so the caller can ingest the group
+        through exactly the same splice as a parallel run.  Routing
+        both execution modes through one splice is what makes the two
+        timelines bit-identical: every cell stamp is computed
+        cell-locally and shifted by one addition, in the same order,
+        regardless of which process ran the cell.
+        """
+        if self._fh is None:
+            return
+        self._capture = []
+        self._divert = divert
+        if divert:
+            self._capture_prior = (self.sim_now, self._next_id)
+        if reset_sim:
+            self.sim_now = 0.0
+
+    def take_capture(self) -> list[dict]:
+        """Stop capturing; return the buffered event group.
+
+        A diverting capture also restores the simulated clock and the
+        span-id counter to their pre-capture values, leaving the
+        tracer exactly as if the cell had not run yet -- the follow-up
+        :meth:`ingest_cell_events` re-applies the group.
+        """
+        events = self._capture or []
+        self._capture = None
+        if self._divert:
+            self.sim_now, self._next_id = self._capture_prior
+            self._capture_prior = None
+            self._divert = False
+        return events
+
+    def ingest_cell_events(self, events: list[dict],
+                           parent_id: int | None = None) -> None:
+        """Splice one finished cell's captured event group onto this
+        tracer's timeline (cross-process span reparenting).
+
+        Span ids are reassigned from this tracer's counter in the
+        group's open order, the group's root spans are reparented under
+        ``parent_id`` (default: the innermost open span, exactly where
+        a serially-executed cell would nest), all simulated timestamps
+        are shifted by the current simulated high-water mark, and
+        metric events are replayed into the live registry.  Because
+        captured groups are cell-relative (``begin_capture(reset_sim=
+        True)``) the shifted timestamps are bit-identical to the ones a
+        serial run would have recorded, which is what keeps a traced
+        ``--jobs N`` report byte-identical to ``--jobs 1``.
+        """
+        if self._fh is None or not events:
+            return
+        if parent_id is None:
+            parent_id = self.current_span_id
+        base = self.sim_now
+        idmap: dict[int, int] = {}
+        for old in sorted(ev["id"] for ev in events
+                          if ev.get("type") == "span"):
+            idmap[old] = self._next_id
+            self._next_id += 1
+        end = base
+        for ev in events:
+            ev = dict(ev)
+            kind = ev.get("type")
+            if kind == "span":
+                ev["id"] = idmap[ev["id"]]
+                old_parent = ev.get("parent")
+                ev["parent"] = idmap.get(old_parent, parent_id)
+                ev["t0_sim"] = ev["t0_sim"] + base
+                ev["t1_sim"] = ev["t1_sim"] + base
+                end = max(end, ev["t1_sim"])
+            elif "t_sim" in ev:
+                ev["t_sim"] = ev["t_sim"] + base
+                end = max(end, ev["t_sim"])
+            labels = ev.get("labels") or {}
+            if kind == "counter":
+                self.metrics.counter(ev["name"]).inc(
+                    float(ev.get("inc", 1.0)), **labels)
+            elif kind == "observe":
+                self.metrics.histogram(
+                    ev["name"], buckets=buckets_for(ev["name"])).observe(
+                    float(ev["value"]), **labels)
+            elif kind == "gauge":
+                self.metrics.gauge(ev["name"]).set(
+                    float(ev["value"]), **labels)
+            self._write(ev)
+        self.sim_seek(end)
+        self._fh.flush()
 
     # ------------------------------------------------------------------
     # Simulated timeline
@@ -248,22 +367,27 @@ class Tracer:
     def counter(self, name: str, inc: float = 1.0, **labels) -> None:
         if self._fh is None:
             return
-        self.metrics.counter(name).inc(inc, **labels)
+        if not self._divert:
+            # A diverting capture defers registry updates to the
+            # ingest replay, so each cell's metrics count exactly once.
+            self.metrics.counter(name).inc(inc, **labels)
         self._write({"type": "counter", "name": name, "labels": labels,
                      "inc": inc, "t_sim": self.sim_now})
 
     def observe(self, name: str, value: float, **labels) -> None:
         if self._fh is None:
             return
-        self.metrics.histogram(name, buckets=buckets_for(name)).observe(
-            value, **labels)
+        if not self._divert:
+            self.metrics.histogram(
+                name, buckets=buckets_for(name)).observe(value, **labels)
         self._write({"type": "observe", "name": name, "labels": labels,
                      "value": float(value), "t_sim": self.sim_now})
 
     def gauge(self, name: str, value: float, **labels) -> None:
         if self._fh is None:
             return
-        self.metrics.gauge(name).set(value, **labels)
+        if not self._divert:
+            self.metrics.gauge(name).set(value, **labels)
         self._write({"type": "gauge", "name": name, "labels": labels,
                      "value": float(value), "t_sim": self.sim_now})
 

@@ -1,0 +1,112 @@
+"""Parent-process side: job resolution and the worker pool.
+
+:class:`CellPool` wraps a lazily created
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The scheduling
+discipline lives in the callers (:meth:`repro.core.experiment.
+Experiment.run` and :meth:`repro.graphalytics.harness.
+GraphalyticsHarness.run_matrix`): submit every outstanding cell, then
+*commit results strictly in canonical cell order*, blocking on each
+future in turn.  Completion order is irrelevant -- checkpoint records,
+trace splices, and the failures ledger are applied in the same order a
+serial run would apply them, which is the deterministic-merge
+invariant ``--jobs N`` rests on (REPORT.md is byte-identical to
+``--jobs 1``).
+
+Fork discipline: workers inherit the parent's open trace file handle,
+and a worker's exit-time flush would duplicate any bytes still
+buffered in it at fork time.  Callers therefore flush the parent
+tracer before a submission batch; the pool spawns workers only during
+submission, never during the commit sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.parallel.worker import (
+    init_worker,
+    run_cell_task,
+    run_graphalytics_task,
+)
+
+__all__ = ["CellPool", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None`` means "use every core"; otherwise validate the count."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return int(jobs)
+
+
+def _mp_context():
+    # Fork is preferred where available (Linux): workers skip module
+    # re-import and dataset arguments share pages until written.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class CellPool:
+    """A lazily created pool of cell workers, shared across a suite.
+
+    ``shard_root`` (set when the run is traced) is where each worker
+    opens its debug event shard; ``None`` gives workers a disabled
+    tracer, so untraced parallel runs pay no event-capture cost.
+    """
+
+    def __init__(self, jobs: int | None,
+                 shard_root: str | Path | None = None):
+        self.jobs = resolve_jobs(jobs)
+        self.shard_root = (Path(shard_root) if shard_root is not None
+                           else None)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def parallel(self) -> bool:
+        """False for a one-job pool; callers fall back to serial."""
+        return self.jobs > 1
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            if self.shard_root is not None:
+                self.shard_root.mkdir(parents=True, exist_ok=True)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_mp_context(),
+                initializer=init_worker,
+                initargs=(str(self.shard_root)
+                          if self.shard_root is not None else None,))
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def submit_cell(self, config, dataset, system: str, algorithm: str,
+                    n_threads: int) -> Future:
+        return self._ensure().submit(run_cell_task, config, dataset,
+                                     system, algorithm, n_threads)
+
+    def submit_graphalytics(self, machine, n_threads: int, seed: int,
+                            time_limit_s, platform: str, algorithm: str,
+                            dataset) -> Future:
+        return self._ensure().submit(
+            run_graphalytics_task, machine, n_threads, seed,
+            time_limit_s, platform, algorithm, dataset)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "CellPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

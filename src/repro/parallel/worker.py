@@ -1,0 +1,99 @@
+"""Worker-process side of the cell scheduler.
+
+Each pool worker owns a module-level :data:`_STATE`: one shard
+:class:`~repro.observability.tracer.Tracer` (when the run is traced),
+one :class:`~repro.resilience.supervisor.CellSupervisor` per experiment
+directory, and one Graphalytics harness per parameter set.  The
+supervisors hold the worker's :class:`~repro.core.runner.Runner`, whose
+loaded-graph cache means a worker deserializes each (system, threads)
+CSR once, not once per cell.
+
+Tasks return plain picklable values.  A cell task returns the
+:class:`~repro.resilience.supervisor.CellOutcome` together with the
+cell's captured trace-event group; the parent splices the group onto
+the global timeline in canonical order
+(:meth:`~repro.observability.tracer.Tracer.ingest_cell_events`).
+Everything a worker computes is a pure function of the experiment
+seed -- kernels, jitter, backoff, injected faults -- so which worker
+runs a cell never changes its result.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["init_worker", "run_cell_task", "run_graphalytics_task"]
+
+#: Per-process state, populated by :func:`init_worker` in each pool
+#: worker (or lazily on first task for direct in-process calls).
+_STATE: dict = {}
+
+
+def init_worker(shard_root: str | None) -> None:
+    """Pool initializer: open this worker's trace shard (if tracing).
+
+    The shard at ``<shard_root>/worker-<pid>/events.jsonl`` is a
+    durability/debug artifact: a sequence of *cell-relative* timelines
+    (each capture resets the simulated clock), useful for inspecting a
+    crashed worker.  The authoritative events travel back to the
+    parent inside task results.
+    """
+    from repro.observability import Tracer
+
+    tracer = (Tracer(Path(shard_root) / f"worker-{os.getpid()}")
+              if shard_root else Tracer())
+    _STATE["tracer"] = tracer
+    _STATE["supervisors"] = {}
+    _STATE["harnesses"] = {}
+
+
+def _tracer():
+    if "tracer" not in _STATE:
+        init_worker(None)
+    return _STATE["tracer"]
+
+
+def _supervisor(config, dataset):
+    """The worker's supervisor for one experiment directory (cached)."""
+    from repro.core.runner import Runner
+    from repro.resilience import CellSupervisor, FaultInjector, RetryPolicy
+
+    key = str(config.output_dir)
+    sup = _STATE.setdefault("supervisors", {}).get(key)
+    if sup is None:
+        runner = Runner(config, dataset, tracer=_tracer())
+        injector = (FaultInjector(config.seed, config.fault_spec)
+                    if config.fault_spec else None)
+        sup = CellSupervisor(runner, RetryPolicy.from_config(config),
+                             injector=injector)
+        _STATE["supervisors"][key] = sup
+    return sup
+
+
+def run_cell_task(config, dataset, system: str, algorithm: str,
+                  n_threads: int):
+    """Run one supervised cell; return (outcome, captured events)."""
+    tracer = _tracer()
+    tracer.begin_capture(reset_sim=True)
+    try:
+        outcome = _supervisor(config, dataset).run_cell(
+            system, algorithm, n_threads)
+    finally:
+        events = tracer.take_capture()
+    return outcome, events
+
+
+def run_graphalytics_task(machine, n_threads: int, seed: int,
+                          time_limit_s, platform: str, algorithm: str,
+                          dataset):
+    """Run one Graphalytics cell (the harness emits no trace events)."""
+    from repro.graphalytics.harness import GraphalyticsHarness
+
+    key = (n_threads, seed, time_limit_s)
+    harness = _STATE.setdefault("harnesses", {}).get(key)
+    if harness is None:
+        harness = GraphalyticsHarness(machine=machine, n_threads=n_threads,
+                                      seed=seed, time_limit_s=time_limit_s)
+        _STATE["harnesses"][key] = harness
+    return harness.run_cell(platform, algorithm, dataset)

@@ -407,6 +407,7 @@ class TestGranulaFromTrace:
 # Suite + CLI surface
 # ----------------------------------------------------------------------
 class TestSuiteAndCli:
+    @pytest.mark.slow
     def test_traced_suite_and_cli(self, tmp_path, capsys):
         out = tmp_path / "suite"
         run_paper_suite(out, scale=8, n_roots=2, render_svg=False,
@@ -438,6 +439,7 @@ class TestSuiteAndCli:
         assert main(["trace", str(out), "--depth", "1"]) == 0
         assert "suite" in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_untraced_suite_writes_no_trace(self, tmp_path):
         out = tmp_path / "suite"
         run_paper_suite(out, scale=8, n_roots=2, render_svg=False)

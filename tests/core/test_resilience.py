@@ -203,6 +203,7 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError):
             exp.run()
 
+    @pytest.mark.slow
     def test_interrupted_suite_resumes_byte_identical(
             self, tmp_path_factory, monkeypatch):
         """Kill a suite partway; --resume must reproduce the exact
@@ -239,6 +240,7 @@ class TestCheckpointResume:
 # Degraded suite + report ledger
 # ----------------------------------------------------------------------
 class TestDegradedSuite:
+    @pytest.mark.slow
     def test_permanent_fault_quarantines_and_reports(self, tmp_path):
         """Acceptance: a permanently crashing cell leaves the suite
         complete, quarantined, and named in the Failures section."""
@@ -253,6 +255,7 @@ class TestDegradedSuite:
         assert "backoff" in text
         assert SuiteCheckpoint.scan_quarantined(tmp_path)
 
+    @pytest.mark.slow
     def test_clean_suite_reports_no_failures(self, tmp_path):
         report = run_paper_suite(tmp_path, scale=8, n_roots=2,
                                  render_svg=False)

@@ -1,0 +1,161 @@
+"""Cross-system differential tests: the five systems against *each
+other*, not just against the reference oracles.
+
+The paper's comparison is only meaningful if every system is solving
+the same problem: identical BFS depth arrays, SSSP distances within
+float tolerance, PageRank within 1e-4.  Any pairwise disagreement
+means at least one implementation is wrong even if it happens to pass
+its own oracle check.  The Graph500-spec parent-tree validator is
+applied to every system that emits a parent array (PowerGraph's
+Graphalytics driver computes hop counts only -- the paper's
+PowerGraph-has-no-BFS hole).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.validation import validate_bfs_parents
+from repro.systems import create_system
+
+ALL_FIVE = ("gap", "graph500", "graphbig", "graphmat", "powergraph")
+
+#: Systems whose BFS emits a Graph500-style parent tree.
+PARENT_TREE_SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
+
+#: SSSP / PageRank providers (the Graph500 defines only BFS).
+SSSP_SYSTEMS = ("gap", "graphbig", "graphmat", "powergraph")
+PR_SYSTEMS = ("gap", "graphbig", "graphmat", "powergraph")
+
+TOL = 1e-4
+
+
+@pytest.fixture(scope="module")
+def kron_systems(kron10_dataset):
+    out = {}
+    for name in ALL_FIVE:
+        s = create_system(name, n_threads=32)
+        out[name] = (s, s.load(kron10_dataset))
+    return out
+
+
+@pytest.fixture(scope="module")
+def kron_roots(kron10_dataset):
+    return [int(r) for r in kron10_dataset.roots[:2]]
+
+
+def _bfs_levels(systems, root):
+    """Every system's depth array, via its own BFS entry point."""
+    levels = {}
+    for name, (system, loaded) in systems.items():
+        if name == "powergraph":
+            res = system.run_toolkit_extension(loaded, "bfs-hops",
+                                               root=root)
+        else:
+            res = system.run(loaded, "bfs", root=root)
+        levels[name] = res.output["level"]
+    return levels
+
+
+def _pairs(names):
+    names = list(names)
+    return [(a, b) for i, a in enumerate(names) for b in names[i + 1:]]
+
+
+# ----------------------------------------------------------------------
+# BFS: depth arrays identical across all five systems
+# ----------------------------------------------------------------------
+def test_bfs_depths_agree_all_five(kron_systems, kron_roots):
+    for root in kron_roots:
+        levels = _bfs_levels(kron_systems, root)
+        for a, b in _pairs(ALL_FIVE):
+            assert np.array_equal(levels[a], levels[b]), \
+                f"BFS depth arrays differ: {a} vs {b} (root {root})"
+
+
+@pytest.mark.parametrize("name", PARENT_TREE_SYSTEMS)
+def test_graph500_parent_validator_every_system(name, kron_systems,
+                                                kron_roots, kron10_csr):
+    """The Graph500 spec's five parent-tree checks, per system."""
+    system, loaded = kron_systems[name]
+    for root in kron_roots:
+        res = system.run(loaded, "bfs", root=root)
+        validate_bfs_parents(kron10_csr, root, res.output["parent"])
+
+
+# ----------------------------------------------------------------------
+# SSSP: distances within tolerance, identical reachability
+# ----------------------------------------------------------------------
+def test_sssp_distances_agree(kron_systems, kron_roots):
+    for root in kron_roots:
+        dists = {}
+        for name in SSSP_SYSTEMS:
+            system, loaded = kron_systems[name]
+            dists[name] = system.run(loaded, "sssp",
+                                     root=root).output["dist"]
+        for a, b in _pairs(SSSP_SYSTEMS):
+            da, db = dists[a], dists[b]
+            reach_a, reach_b = np.isfinite(da), np.isfinite(db)
+            assert np.array_equal(reach_a, reach_b), \
+                f"SSSP reachability differs: {a} vs {b} (root {root})"
+            diff = np.abs(da[reach_a] - db[reach_a])
+            assert diff.size == 0 or diff.max() < TOL, \
+                (f"SSSP distances differ: {a} vs {b} (root {root}), "
+                 f"max |d| = {diff.max():.3g}")
+
+
+# ----------------------------------------------------------------------
+# PageRank: values within 1e-4 pairwise
+# ----------------------------------------------------------------------
+def test_pagerank_agrees(kron_systems):
+    ranks = {}
+    for name in PR_SYSTEMS:
+        system, loaded = kron_systems[name]
+        ranks[name] = system.run(loaded, "pagerank").output["rank"]
+    for a, b in _pairs(PR_SYSTEMS):
+        diff = np.abs(ranks[a] - ranks[b]).max()
+        assert diff < TOL, \
+            f"PageRank differs: {a} vs {b}, max |d| = {diff:.3g}"
+
+
+# ----------------------------------------------------------------------
+# Real-world fixture graphs: the same agreements hold off-Kronecker
+# (the Graph500 only loads its own generator's graphs, so four systems)
+# ----------------------------------------------------------------------
+def test_bfs_depths_agree_on_directed_patents(patents_dataset,
+                                              patents_small):
+    from repro.graph.csr import CSRGraph
+
+    csr = CSRGraph.from_edge_list(patents_small)
+    root = int(patents_dataset.roots[0])
+    levels = {}
+    for name in ("gap", "graphbig", "graphmat", "powergraph"):
+        s = create_system(name)
+        loaded = s.load(patents_dataset)
+        if name == "powergraph":
+            res = s.run_toolkit_extension(loaded, "bfs-hops", root=root)
+        else:
+            res = s.run(loaded, "bfs", root=root)
+            validate_bfs_parents(csr, root, res.output["parent"],
+                                 directed=True)
+        levels[name] = res.output["level"]
+    for a, b in _pairs(levels):
+        assert np.array_equal(levels[a], levels[b]), \
+            f"cit-Patents BFS depths differ: {a} vs {b}"
+
+
+def test_sssp_and_pagerank_agree_on_weighted_dota(dota_dataset):
+    root = int(dota_dataset.roots[0])
+    dists, ranks = {}, {}
+    for name in SSSP_SYSTEMS:
+        s = create_system(name)
+        loaded = s.load(dota_dataset)
+        dists[name] = s.run(loaded, "sssp", root=root).output["dist"]
+        ranks[name] = s.run(loaded, "pagerank").output["rank"]
+    for a, b in _pairs(SSSP_SYSTEMS):
+        reach = np.isfinite(dists[a])
+        assert np.array_equal(reach, np.isfinite(dists[b]))
+        diff = np.abs(dists[a][reach] - dists[b][reach])
+        assert diff.size == 0 or diff.max() < TOL, \
+            f"dota SSSP differs: {a} vs {b}"
+        pd = np.abs(ranks[a] - ranks[b]).max()
+        assert pd < TOL, f"dota PageRank differs: {a} vs {b}"

@@ -126,6 +126,7 @@ def test_verify_command(tmp_path, capsys):
     assert main(["verify", "--output", str(tmp_path)]) == 1
 
 
+@pytest.mark.slow
 def test_reproduce_command(tmp_path, capsys):
     assert main(["reproduce", "--output", str(tmp_path), "--scale", "8",
                  "--roots", "2", "--no-svg"]) == 0
