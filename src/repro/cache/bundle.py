@@ -1,0 +1,47 @@
+"""Memmap-friendly array bundles: one ``.npy`` file per array.
+
+A *bundle* is a directory of plain ``numpy.save`` files, one per named
+array.  Reading maps each file with ``np.load(mmap_mode="r")``: the
+arrays are backed read-only by the page cache, so when several worker
+processes open the same bundle they share one physical copy of the
+graph -- the zero-copy half of the cache's contract.  Plain ``.npy``
+(not ``.npz``) is deliberate: zip members cannot be memory-mapped.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CacheError
+
+__all__ = ["write_arrays", "read_arrays"]
+
+
+def write_arrays(directory: str | Path, arrays: dict) -> list[Path]:
+    """Write ``{name: array}`` as ``<directory>/<name>.npy`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, arr in arrays.items():
+        if os.sep in name or name.startswith("."):
+            raise CacheError(f"invalid bundle array name {name!r}")
+        path = directory / f"{name}.npy"
+        np.save(path, np.ascontiguousarray(arr))
+        paths.append(path)
+    return paths
+
+
+def read_arrays(directory: str | Path, *, mmap: bool = True) -> dict:
+    """Load every ``.npy`` in ``directory`` as ``{name: array}``.
+
+    With ``mmap=True`` each array is a read-only ``np.memmap`` view of
+    the file; writes through it raise, which is exactly the contract a
+    shared cache entry needs.
+    """
+    out = {}
+    for path in sorted(Path(directory).glob("*.npy")):
+        out[path.stem] = np.load(path, mmap_mode="r" if mmap else None)
+    return out

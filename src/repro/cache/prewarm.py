@@ -1,0 +1,57 @@
+"""Parent-side graph materialization for process-parallel runs.
+
+Without a cache, every worker process parses and builds every graph it
+is handed -- ``jobs`` copies of the same CSR arrays in RAM and ``jobs``
+redundant builds on the clock.  :func:`prewarm_loaded_graphs` runs in
+the *parent* before the fan-out: it fills the layer-2 cache with every
+(system, build-knobs) structure the cell matrix will need, so each
+worker's ``load()`` degenerates to ``np.load(mmap_mode="r")`` over
+files already in the page cache -- one physical copy, shared read-only
+by all workers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError, SystemCapabilityError
+from repro.logging_util import get_logger
+
+__all__ = ["prewarm_loaded_graphs"]
+
+
+def prewarm_loaded_graphs(config, dataset, cache) -> int:
+    """Materialize every cacheable loaded graph for ``config``'s cell
+    matrix into ``cache``; returns how many entries were built (already
+    cached structures are skipped, not rebuilt)."""
+    from repro.cache.keys import loaded_graph_key
+    from repro.systems import create_system
+
+    log = get_logger("repro.cache")
+    built = 0
+    seen: set[str] = set()
+    for n_threads in config.thread_counts:
+        for name in config.systems:
+            system = create_system(name, machine=config.machine,
+                                   n_threads=n_threads)
+            if system.kronecker_only and \
+                    not dataset.name.startswith("kron"):
+                continue
+            if not any(system.supports(a) for a in config.algorithms):
+                continue  # no cell will ever load this system
+            try:
+                key = loaded_graph_key(system, dataset)
+            except DatasetError:
+                continue  # no homogenized input for this system
+            if key in seen:
+                continue
+            seen.add(key)
+            if cache.contains(key):
+                continue
+            try:
+                system.load(dataset, cache=cache)
+                built += 1
+            except SystemCapabilityError:
+                continue
+    if built:
+        log.info("prewarmed %d graph structure(s) into %s",
+                 built, cache.root)
+    return built

@@ -23,6 +23,7 @@ from pathlib import Path
 from repro.core.config import ExperimentConfig
 from repro.core.experiment import Experiment
 from repro.errors import (
+    CacheError,
     CellQuarantinedError,
     CellTimeoutError,
     CheckpointError,
@@ -56,7 +57,18 @@ EXIT_CODES: dict[type, int] = {
     CheckpointError: 10,
     GraphFormatError: 11,
     TraceError: 12,
+    CacheError: 13,
 }
+
+
+def _size(text: str) -> int:
+    """argparse type for byte sizes with binary suffixes (``500M``)."""
+    from repro.cache import parse_size
+
+    try:
+        return parse_size(text)
+    except CacheError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the run phase "
                              "(default: one per CPU core; results are "
                              "identical at any value)")
+        sp.add_argument("--cache-dir", type=Path, default=None,
+                        help="persistent artifact cache directory "
+                             "(byte-transparent; see docs/cache.md)")
+        sp.add_argument("--cache-max-bytes", type=_size, default=None,
+                        metavar="SIZE",
+                        help="cache LRU GC budget, e.g. 500M or 2G")
 
     for name, help_ in (
             ("setup", "phase 1: verify systems, persist config"),
@@ -159,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes for experiment cells "
                          "(default: one per CPU core; the report is "
                          "byte-identical at any value)")
+    sp.add_argument("--cache-dir", type=Path, default=None,
+                    help="persistent artifact cache directory "
+                         "(byte-transparent; see docs/cache.md)")
+    sp.add_argument("--cache-max-bytes", type=_size, default=None,
+                    metavar="SIZE",
+                    help="cache LRU GC budget, e.g. 500M or 2G")
 
     sp = sub.add_parser(
         "resume",
@@ -201,6 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--output", type=Path, required=True,
                     help="experiment directory with traces/ inside")
 
+    sp = sub.add_parser(
+        "cache", help="inspect or maintain an artifact cache directory")
+    sp.add_argument("action", choices=("ls", "gc", "verify", "clear"),
+                    help="ls: list entries; gc: evict LRU entries over "
+                         "the byte budget; verify: re-hash every entry, "
+                         "evicting corrupt ones; clear: remove all")
+    sp.add_argument("--dir", type=Path, required=True, dest="cache_dir",
+                    help="the cache directory (as passed to --cache-dir)")
+    sp.add_argument("--max-bytes", type=_size, default=None,
+                    metavar="SIZE",
+                    help="byte budget for gc, e.g. 500M or 2G")
+
     sub.add_parser("systems", help="list installed systems")
     sub.add_parser("datasets", help="list the dataset catalog")
     return p
@@ -224,6 +260,8 @@ def _config_from_args(args) -> ExperimentConfig:
         cell_timeout_s=args.cell_timeout,
         fault_spec=args.fault_spec,
         jobs=resolve_jobs(args.jobs),
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
     )
 
 
@@ -299,7 +337,9 @@ def _dispatch(args) -> int:
                                  cell_timeout_s=args.cell_timeout,
                                  fault_spec=args.fault_spec,
                                  trace=args.trace,
-                                 jobs=resolve_jobs(args.jobs))
+                                 jobs=resolve_jobs(args.jobs),
+                                 cache_dir=args.cache_dir,
+                                 cache_max_bytes=args.cache_max_bytes)
         print(f"wrote {report}")
         _warn_if_degraded(args.output)
         return 0
@@ -426,6 +466,9 @@ def _dispatch(args) -> int:
             print(svg)
         return 0
 
+    if args.command == "cache":
+        return _dispatch_cache(args)
+
     if args.command == "viz":
         from repro.core.analysis import Analysis
         from repro.viz import render_all_figures
@@ -487,6 +530,50 @@ def _dispatch(args) -> int:
                  for k, v in analysis.box("time").items()}))
         if args.command == "all":
             _warn_if_degraded(config.output_dir)
+    return 0
+
+
+def _dispatch_cache(args) -> int:
+    """``epg cache ls|gc|verify|clear --dir <cache>``."""
+    from repro.cache import ArtifactCache
+
+    if not args.cache_dir.is_dir():
+        raise CacheError(f"{args.cache_dir}: not a cache directory")
+    cache = ArtifactCache(args.cache_dir, max_bytes=args.max_bytes)
+
+    if args.action == "ls":
+        entries = cache.entries()
+        for e in entries:
+            print(f"{e.key}  {e.kind:<16}{e.size_bytes:>12}  "
+                  f"last used {e.last_used}")
+        total = cache.total_bytes()
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+              f"{total} bytes")
+        return 0
+
+    if args.action == "gc":
+        evicted = cache.gc(args.max_bytes)
+        for key in evicted:
+            print(f"evicted {key}")
+        print(f"{len(evicted)} evicted, {cache.total_bytes()} bytes kept")
+        return 0
+
+    if args.action == "verify":
+        problems = cache.verify()
+        for problem in problems:
+            print(problem)
+        n = len(cache.entries())
+        if problems:
+            print(f"{len(problems)} corrupt entr"
+                  f"{'y' if len(problems) == 1 else 'ies'} evicted, "
+                  f"{n} kept")
+            return 1
+        print(f"{n} entr{'y' if n == 1 else 'ies'} verified")
+        return 0
+
+    # clear
+    n = cache.clear()
+    print(f"removed {n} entr{'y' if n == 1 else 'ies'}")
     return 0
 
 

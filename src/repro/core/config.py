@@ -78,6 +78,14 @@ class ExperimentConfig:
     #: count is an execution detail that must not perturb checkpoint
     #: digests or provenance (results are identical at any level).
     jobs: int | None = None
+    #: Artifact cache master switch.  Like ``jobs``, the cache knobs are
+    #: execution details: the cache is byte-transparent, so they are
+    #: excluded from :meth:`to_dict` and never perturb provenance.
+    cache_enabled: bool = True
+    #: On-disk cache root; None disables caching even when enabled.
+    cache_dir: Path | None = None
+    #: LRU garbage-collection budget in bytes (None = unbounded).
+    cache_max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "output_dir", Path(self.output_dir))
@@ -117,6 +125,16 @@ class ExperimentConfig:
             parse_fault_spec(self.fault_spec)  # raises ConfigError if bad
         if self.jobs is not None and self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ConfigError(
+                f"cache_max_bytes must be >= 1, got {self.cache_max_bytes}")
+
+    @property
+    def cache_active(self) -> bool:
+        """Whether runs should use the artifact cache."""
+        return self.cache_enabled and self.cache_dir is not None
 
     # ------------------------------------------------------------------
     @property

@@ -81,11 +81,18 @@ class Experiment:
     # ------------------------------------------------------------------
     # Phase 2
     # ------------------------------------------------------------------
-    def _generate_edges(self) -> EdgeList:
+    def _artifact_cache(self):
+        """The configured :class:`repro.cache.ArtifactCache`, or None."""
+        from repro.cache import ArtifactCache
+
+        return ArtifactCache.from_config(self.config, tracer=self.tracer)
+
+    def _generate_edges(self, cache=None) -> EdgeList:
         cfg = self.config
         if cfg.dataset == "kronecker":
             return generate_kronecker(KroneckerSpec(
-                scale=cfg.scale, seed=cfg.seed, weighted=True))
+                scale=cfg.scale, seed=cfg.seed, weighted=True),
+                cache=cache)
         if cfg.dataset == "cit-patents":
             return cit_patents(cfg.realworld_factor
                                or CIT_PATENTS_DEFAULT_FACTOR,
@@ -99,13 +106,14 @@ class Experiment:
     def homogenize(self) -> HomogenizedDataset:
         """Phase 2: write every per-system input file + roots."""
         with phase_timer("homogenize", self._log, tracer=self.tracer):
-            edges = self._generate_edges()
+            cache = self._artifact_cache()
+            edges = self._generate_edges(cache=cache)
             self._log.info("dataset %s: %d vertices, %d edges",
                            edges.name, edges.n_vertices, edges.n_edges)
             self.dataset = homogenize(
                 edges, self.config.output_dir / "datasets",
                 n_roots=self.config.n_roots, seed=self.config.seed,
-                tracer=self.tracer)
+                tracer=self.tracer, cache=cache)
         return self.dataset
 
     # ------------------------------------------------------------------
@@ -200,6 +208,14 @@ class Experiment:
     def _run_parallel(self, pool, checkpoint: SuiteCheckpoint,
                       paths: list[Path]) -> None:
         cells = self._cells()
+        cache = self._artifact_cache()
+        if cache is not None:
+            # The parent materializes every graph structure once; the
+            # workers then map the cached arrays read-only (zero-copy
+            # sharing instead of per-worker deserialization).
+            from repro.cache.prewarm import prewarm_loaded_graphs
+
+            prewarm_loaded_graphs(self.config, self.dataset, cache)
         # Fork safety: children inherit this file handle, and their
         # exit-time flush would duplicate whatever it still buffers.
         self.tracer.flush()

@@ -63,6 +63,11 @@ class Runner:
         #: re-deserializing the same CSR (one load per pairing per
         #: Runner, i.e. per worker process under ``--jobs``).
         self._loaded_cache: dict = {}
+        #: Optional on-disk artifact cache (layer 2: loaded graph
+        #: structures).  ``None`` unless the config names a cache dir.
+        from repro.cache import ArtifactCache
+
+        self.cache = ArtifactCache.from_config(config, tracer=self.tracer)
         #: Simulated seconds the most recent cell (or faulted partial
         #: cell) consumed; the resilience supervisor prices its attempt
         #: timeline from this.
@@ -138,7 +143,7 @@ class Runner:
             if not system.supports(algorithm):
                 return None
             try:
-                loaded = system.load(self.dataset)
+                loaded = system.load(self.dataset, cache=self.cache)
             except SystemCapabilityError:
                 # e.g. the Graph500 refusing a non-Kronecker dataset.
                 return None

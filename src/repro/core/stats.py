@@ -33,15 +33,30 @@ __all__ = ["bootstrap_ci", "mann_whitney_u", "cliffs_delta",
 def bootstrap_ci(values, statistic=np.median, n_resamples: int = 2000,
                  confidence: float = 0.95, seed: int = 0
                  ) -> tuple[float, float]:
-    """Percentile bootstrap CI for ``statistic`` of ``values``."""
+    """Percentile bootstrap CI for ``statistic`` of ``values``.
+
+    ``statistic`` may be any callable of one 1-D sample; vectorized
+    reducers taking an ``axis`` keyword (``np.median``, ``np.mean``)
+    evaluate all resamples in one call, anything else is applied
+    row-wise.
+    """
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise ConfigError("cannot bootstrap an empty sample")
+    if n_resamples < 1:
+        raise ConfigError(f"n_resamples must be >= 1, got {n_resamples}")
     if not 0 < confidence < 1:
         raise ConfigError("confidence must be in (0, 1)")
     rng = np.random.default_rng(seed)
     idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
-    stats = statistic(arr[idx], axis=1)
+    resampled = arr[idx]
+    try:
+        stats = np.asarray(statistic(resampled, axis=1),
+                           dtype=np.float64)
+        if stats.shape != (n_resamples,):
+            raise TypeError("statistic is not a per-row reducer")
+    except TypeError:
+        stats = np.asarray([float(statistic(row)) for row in resampled])
     alpha = (1.0 - confidence) / 2.0
     lo, hi = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
     return float(lo), float(hi)

@@ -72,7 +72,9 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
                     cell_timeout_s: float | None = None,
                     fault_spec: str | None = None,
                     trace: bool = False,
-                    jobs: int | None = None) -> Path:
+                    jobs: int | None = None,
+                    cache_dir: str | Path | None = None,
+                    cache_max_bytes: int | None = None) -> Path:
     """Run everything; return the REPORT.md path.
 
     ``resume=False`` (the default) starts fresh, clearing any
@@ -86,6 +88,10 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
     in canonical order, so the report is byte-identical to a serial
     run's (see ``docs/parallel.md``).  ``None`` means serial here; the
     CLI resolves its default to the machine's core count.
+    ``cache_dir`` enables the persistent artifact cache there
+    (``epg reproduce --cache-dir``); ``cache_max_bytes`` sets its LRU
+    garbage-collection budget.  The cache is byte-transparent (see
+    ``docs/cache.md``), so warm and cold reports are identical.
     """
     from repro.parallel import CellPool, resolve_jobs
 
@@ -102,10 +108,14 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
         "render_svg": render_svg, "max_retries": max_retries,
         "cell_timeout_s": cell_timeout_s, "fault_spec": fault_spec,
         "trace": trace, "jobs": jobs,
+        "cache_dir": str(cache_dir) if cache_dir is not None else None,
+        "cache_max_bytes": cache_max_bytes,
     })
     resilience = dict(max_retries=max_retries,
                       cell_timeout_s=cell_timeout_s,
-                      fault_spec=fault_spec)
+                      fault_spec=fault_spec,
+                      cache_dir=cache_dir,
+                      cache_max_bytes=cache_max_bytes)
     tracer = (Tracer(out_dir / "trace", resume=resume) if trace
               else Tracer())
     pool = (CellPool(jobs, shard_root=shard_root if trace else None)
@@ -336,7 +346,9 @@ def resume_paper_suite(out_dir: str | Path,
             cell_timeout_s=params["cell_timeout_s"],
             fault_spec=params["fault_spec"],
             trace=params.get("trace", False),
-            jobs=jobs if jobs is not None else params.get("jobs", 1))
+            jobs=jobs if jobs is not None else params.get("jobs", 1),
+            cache_dir=params.get("cache_dir"),
+            cache_max_bytes=params.get("cache_max_bytes"))
     except KeyError as exc:
         raise CheckpointError(
             f"{mpath}: suite manifest missing key {exc}") from exc

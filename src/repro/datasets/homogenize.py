@@ -45,6 +45,12 @@ __all__ = ["HomogenizedDataset", "homogenize", "load_manifest",
 
 N_ROOTS_DEFAULT = 32
 
+#: Per-format writer keys, in the order :func:`homogenize` emits them.
+#: The cache restore path replays identical ``write:<key>`` spans in
+#: this order so a warm trace is indistinguishable from a cold one.
+_WRITER_KEYS = ("el", "wel", "sg", "wsg", "g500", "mtxbin", "tsv",
+                "graphbig")
+
 
 def select_roots(edges: EdgeList, n_roots: int = N_ROOTS_DEFAULT,
                  seed: int = 2):
@@ -96,17 +102,73 @@ class HomogenizedDataset:
         return el
 
 
+def _restore_tree(tree: Path, ddir: Path, tracer,
+                  name: str) -> HomogenizedDataset:
+    """Copy a cached homogenized tree into ``ddir``.
+
+    Emits the same ``write:<key>`` spans, in the same order, as a cold
+    :func:`homogenize` so traces stay byte-transparent to caching.
+    """
+    import shutil
+
+    manifest = json.loads((tree / "manifest.json").read_text(
+        encoding="utf-8"))
+    files = manifest["files"]
+    ddir.mkdir(parents=True, exist_ok=True)
+
+    def _copy(rel: str) -> None:
+        src, dst = tree / rel, ddir / rel
+        if src.is_dir():
+            shutil.copytree(src, dst, dirs_exist_ok=True)
+        else:
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy2(src, dst)
+
+    for key in _WRITER_KEYS:
+        if tracer is not None:
+            with tracer.span(f"write:{key}", category="dataset",
+                             dataset=name):
+                _copy(files[key])
+        else:
+            _copy(files[key])
+    _copy(files["roots"])
+    shutil.copy2(tree / "manifest.json", ddir / "manifest.json")
+    return load_manifest(ddir)
+
+
 def homogenize(edges: EdgeList, out_dir: str | Path,
                n_roots: int = N_ROOTS_DEFAULT,
-               seed: int = 2, tracer=None) -> HomogenizedDataset:
+               seed: int = 2, tracer=None,
+               cache=None) -> HomogenizedDataset:
     """Write every per-system input file for ``edges`` under ``out_dir``.
 
     ``tracer`` (optional :class:`~repro.observability.tracer.Tracer`)
     records one ``dataset`` span per format written.
+
+    ``cache`` is an optional :class:`repro.cache.ArtifactCache`; the
+    finished tree is memoized under a digest of the edge list and the
+    recipe (``n_roots``, ``seed``), and a hit restores the files by copy
+    instead of re-serializing every format.
     """
     out_dir = Path(out_dir)
     name = edges.name
     ddir = out_dir / name
+
+    ckey = None
+    if cache is not None:
+        from repro.cache.keys import homogenize_key
+
+        ckey = homogenize_key(edges, n_roots, seed)
+        entry = cache.get(ckey, kind="homogenize")
+        if entry is not None:
+            try:
+                return _restore_tree(entry / "tree", ddir, tracer, name)
+            except Exception as exc:  # noqa: BLE001 -- degrade to miss
+                cache._log.warning(
+                    "cache entry %s unusable (%s: %s); rebuilding",
+                    ckey, type(exc).__name__, exc)
+                cache._evict(cache._entry_dir(ckey))
+
     ddir.mkdir(parents=True, exist_ok=True)
 
     weighted_el = edges if edges.weighted else edges.with_random_weights(
@@ -163,6 +225,13 @@ def homogenize(edges: EdgeList, out_dir: str | Path,
     from repro.ioutil import atomic_write_json
 
     atomic_write_json(ddir / "manifest.json", manifest)
+
+    if ckey is not None:
+        import shutil
+
+        cache.put(ckey, "homogenize",
+                  lambda tmp: shutil.copytree(ddir, tmp / "tree"),
+                  meta={"name": name})
 
     return HomogenizedDataset(
         name=name, directory=ddir, n_vertices=edges.n_vertices,

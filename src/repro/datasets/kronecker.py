@@ -88,14 +88,33 @@ def _sample_quadrants(rng: np.ndarray, a: float, b: float,
     return src_bit, dst_bit
 
 
-def generate_kronecker(spec: KroneckerSpec) -> EdgeList:
+def generate_kronecker(spec: KroneckerSpec,
+                       cache=None) -> EdgeList:
     """Generate the unordered edge list for ``spec``.
 
     Matches the Graph500 contract: the returned list is *undirected*
     (each edge stored once, random orientation), unsorted, may contain
     duplicates and self-loops, and vertex ids have been scrambled with a
     random permutation.
+
+    ``cache`` is an optional :class:`repro.cache.ArtifactCache`; the
+    generated arrays are memoized under a digest of ``spec`` (layer 1),
+    and a hit returns them as read-only memmaps of the cached files --
+    byte-identical to a fresh generation.
     """
+    key = None
+    if cache is not None:
+        from repro.cache.keys import kronecker_key
+
+        key = kronecker_key(spec)
+        hit = cache.get_arrays(key, kind="kronecker")
+        if hit is not None:
+            arrays, _ = hit
+            return EdgeList(arrays["src"], arrays["dst"],
+                            spec.n_vertices,
+                            weights=arrays.get("weights"),
+                            directed=False, name=spec.name)
+
     rng = np.random.default_rng(spec.seed)
     m = spec.n_edges
     src = np.zeros(m, dtype=np.int64)
@@ -122,7 +141,14 @@ def generate_kronecker(spec: KroneckerSpec) -> EdgeList:
         # Graph500 SSSP weights: uniform (0, 1].
         weights = 1.0 - rng.random(m)
 
-    return EdgeList(
+    edges = EdgeList(
         src2, dst2, spec.n_vertices, weights=weights, directed=False,
         name=spec.name,
     )
+    if key is not None:
+        arrays = {"src": edges.src, "dst": edges.dst}
+        if edges.weights is not None:
+            arrays["weights"] = edges.weights
+        cache.put_arrays(key, "kronecker", arrays,
+                         {"scale": spec.scale, "seed": spec.seed})
+    return edges

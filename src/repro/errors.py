@@ -88,3 +88,13 @@ class CheckpointError(ReproError):
 class TraceError(ReproError):
     """A recorded trace is missing, malformed, or violates the span
     schema (bad nesting, non-monotonic simulated timestamps)."""
+
+
+class CacheError(ReproError):
+    """The artifact cache was misused (bad size spec, missing
+    directory for a maintenance command).
+
+    Never raised on a corrupt *entry*: corruption is handled by
+    evicting the entry and regenerating the artifact, because a cache
+    must degrade to a miss, not to a failure.
+    """

@@ -90,6 +90,27 @@ class CSRGraph:
                 raise GraphFormatError("weights must align with col_idx")
 
     # ------------------------------------------------------------------
+    # Serialization (repro.cache array bundles)
+    # ------------------------------------------------------------------
+    def to_arrays_map(self, prefix: str = "") -> dict:
+        """Flat ``{name: array}`` map for the artifact cache; several
+        CSRs can share one bundle via distinct prefixes."""
+        out = {f"{prefix}row_ptr": self.row_ptr,
+               f"{prefix}col_idx": self.col_idx}
+        if self.weights is not None:
+            out[f"{prefix}weights"] = self.weights
+        return out
+
+    @staticmethod
+    def from_arrays_map(arrays: dict, prefix: str = "") -> "CSRGraph":
+        """Inverse of :meth:`to_arrays_map`.  Memmap-backed arrays pass
+        through unchanged (``ascontiguousarray`` is a no-op on them),
+        so a cache-restored CSR stays zero-copy."""
+        return CSRGraph(row_ptr=arrays[f"{prefix}row_ptr"],
+                        col_idx=arrays[f"{prefix}col_idx"],
+                        weights=arrays.get(f"{prefix}weights"))
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

@@ -97,6 +97,29 @@ class DCSRMatrix:
                         else self.values.copy())
 
     # ------------------------------------------------------------------
+    # Serialization (repro.cache array bundles)
+    # ------------------------------------------------------------------
+    def to_arrays_map(self, prefix: str = "") -> dict:
+        """Flat ``{name: array}`` map for the artifact cache; ``n`` is
+        a scalar and travels in the entry's metadata instead."""
+        out = {f"{prefix}row_ids": self.row_ids,
+               f"{prefix}row_ptr": self.row_ptr,
+               f"{prefix}col_idx": self.col_idx}
+        if self.values is not None:
+            out[f"{prefix}values"] = self.values
+        return out
+
+    @staticmethod
+    def from_arrays_map(arrays: dict, n: int,
+                        prefix: str = "") -> "DCSRMatrix":
+        """Inverse of :meth:`to_arrays_map`; memmap arrays stay mmapped."""
+        return DCSRMatrix(n=int(n),
+                          row_ids=arrays[f"{prefix}row_ids"],
+                          row_ptr=arrays[f"{prefix}row_ptr"],
+                          col_idx=arrays[f"{prefix}col_idx"],
+                          values=arrays.get(f"{prefix}values"))
+
+    # ------------------------------------------------------------------
     @property
     def nnz(self) -> int:
         return int(self.col_idx.size)

@@ -169,9 +169,12 @@ class EdgeList:
 
     def with_random_weights(self, seed: int, low: float = 0.0,
                             high: float = 1.0) -> "EdgeList":
-        """Attach uniform random weights, as the Graph500 SSSP spec does."""
+        """Attach uniform ``(low, high]`` random weights, as the
+        Graph500 SSSP spec does (weights are never exactly ``low``, so
+        shortest paths stay strictly monotone in hop count)."""
         rng = np.random.default_rng(seed)
-        w = rng.uniform(low, high, size=self.n_edges)
+        # random() draws [0, 1); reflecting it yields (low, high].
+        w = high - rng.random(self.n_edges) * (high - low)
         return EdgeList(
             self.src, self.dst, self.n_vertices, weights=w,
             directed=self.directed, name=self.name,

@@ -90,6 +90,31 @@ class WorkProfile:
         return WorkProfile(rounds=self.rounds + other.rounds,
                            serial_units=self.serial_units + other.serial_units)
 
+    # ------------------------------------------------------------------
+    # Serialization (repro.cache): three float64 columns, one row per
+    # round.  Caching the profile (not the priced time) is what keeps
+    # the cache thread-invariant -- pricing is re-simulated on restore.
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        import numpy as np
+
+        return {
+            "profile_units": np.asarray(
+                [r.units for r in self.rounds], dtype=np.float64),
+            "profile_mem": np.asarray(
+                [r.memory_bytes for r in self.rounds], dtype=np.float64),
+            "profile_skew": np.asarray(
+                [r.skew for r in self.rounds], dtype=np.float64),
+        }
+
+    @staticmethod
+    def from_arrays(units, memory_bytes, skew,
+                    serial_units: float = 0.0) -> "WorkProfile":
+        rounds = [WorkRound(float(u), float(b), float(s))
+                  for u, b, s in zip(units, memory_bytes, skew)]
+        return WorkProfile(rounds=rounds,
+                           serial_units=float(serial_units))
+
 
 @dataclass(frozen=True)
 class CostParams:

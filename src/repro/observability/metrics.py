@@ -37,6 +37,13 @@ METRIC_HELP = {
         "Simulated seconds slept in retry backoff.",
     "epg_kernel_seconds": "Priced kernel execution time (simulated s).",
     "epg_kernel_teps": "Traversed edges per second per kernel execution.",
+    "epg_cache_hits_total":
+        "Artifact-cache lookups served from disk, by artifact kind.",
+    "epg_cache_misses_total":
+        "Artifact-cache lookups that had to regenerate, by kind.",
+    "epg_cache_evictions_total":
+        "Artifact-cache entries evicted (LRU GC or corruption).",
+    "epg_cache_bytes": "Bytes currently stored in the artifact cache.",
 }
 
 #: Default histogram buckets (log-ish spacing over harness durations).

@@ -364,8 +364,22 @@ class Tracer:
     # ------------------------------------------------------------------
     # Metrics (mirrored into the event log)
     # ------------------------------------------------------------------
-    def counter(self, name: str, inc: float = 1.0, **labels) -> None:
+    def counter(self, name: str, inc: float = 1.0, *, log: bool = True,
+                **labels) -> None:
+        """Increment a live counter; with ``log=True`` (the default)
+        the update is also appended to the event log.
+
+        ``log=False`` updates *only* the in-process registry -- for
+        metrics that describe the harness rather than the run (cache
+        hits/misses): keeping them out of ``events.jsonl`` is what lets
+        a warm-cache trace stay byte-identical to a cold one.  Such
+        events are never replayed by an ingest, so they update the
+        registry even during a diverting capture.
+        """
         if self._fh is None:
+            return
+        if not log:
+            self.metrics.counter(name).inc(inc, **labels)
             return
         if not self._divert:
             # A diverting capture defers registry updates to the
@@ -374,8 +388,13 @@ class Tracer:
         self._write({"type": "counter", "name": name, "labels": labels,
                      "inc": inc, "t_sim": self.sim_now})
 
-    def observe(self, name: str, value: float, **labels) -> None:
+    def observe(self, name: str, value: float, *, log: bool = True,
+                **labels) -> None:
         if self._fh is None:
+            return
+        if not log:
+            self.metrics.histogram(
+                name, buckets=buckets_for(name)).observe(value, **labels)
             return
         if not self._divert:
             self.metrics.histogram(
@@ -383,8 +402,12 @@ class Tracer:
         self._write({"type": "observe", "name": name, "labels": labels,
                      "value": float(value), "t_sim": self.sim_now})
 
-    def gauge(self, name: str, value: float, **labels) -> None:
+    def gauge(self, name: str, value: float, *, log: bool = True,
+              **labels) -> None:
         if self._fh is None:
+            return
+        if not log:
+            self.metrics.gauge(name).set(value, **labels)
             return
         if not self._divert:
             self.metrics.gauge(name).set(value, **labels)

@@ -8,6 +8,13 @@ supervisors hold the worker's :class:`~repro.core.runner.Runner`, whose
 loaded-graph cache means a worker deserializes each (system, threads)
 CSR once, not once per cell.
 
+When the run names a ``--cache-dir``, the parent prewarms every graph
+structure into the on-disk artifact cache before the fan-out, and each
+worker's Runner maps the cached ``.npy`` arrays read-only
+(``np.load(mmap_mode="r")``): the OS page cache backs one physical copy
+of each graph shared zero-copy across all workers, instead of every
+worker parsing and building its own (see ``docs/cache.md``).
+
 Tasks return plain picklable values.  A cell task returns the
 :class:`~repro.resilience.supervisor.CellOutcome` together with the
 cell's captured trace-event group; the parent splices the group onto

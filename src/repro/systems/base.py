@@ -124,13 +124,22 @@ class GraphSystem(ABC):
     # ------------------------------------------------------------------
     # Loading (template method)
     # ------------------------------------------------------------------
-    def load(self, dataset: HomogenizedDataset) -> LoadedGraph:
+    def load(self, dataset: HomogenizedDataset,
+             cache=None) -> LoadedGraph:
         """Ingest a homogenized dataset.
 
         Reads this system's native file (real I/O), builds the internal
         structure (real work), and prices both phases.  Systems with
         fused read+build report ``build_s=None`` and fold the
         construction cost into ``read_s`` (their "load" time).
+
+        ``cache`` is an optional :class:`repro.cache.ArtifactCache`:
+        on a hit the built arrays come back as read-only memmaps of the
+        cached ``.npy`` files (zero copies, shared across worker
+        processes) and the build's :class:`WorkProfile` is re-simulated
+        for this instance's thread count -- the priced ``read_s`` /
+        ``build_s`` are bit-identical to an uncached load, so caching
+        never changes a reported number.
         """
         if self.kronecker_only and not dataset.name.startswith("kron"):
             raise SystemCapabilityError(
@@ -139,11 +148,10 @@ class GraphSystem(ABC):
         path = dataset.path(self.input_key)
         n_bytes = (sum(f.stat().st_size for f in path.iterdir())
                    if path.is_dir() else path.stat().st_size)
-        edges = self._read_input(dataset)
         read_s = n_bytes / (calibration.read_rate_mbs(
             self._read_rate_key()) * 1e6)
 
-        data, build_profile = self._build(edges, dataset)
+        data, build_profile = self._cached_build(dataset, cache)
         build_sim = self.thread_model.simulate(
             build_profile, calibration.build_params(self.name, self.machine),
             self.n_threads)
@@ -162,8 +170,64 @@ class GraphSystem(ABC):
             read_s=read_s + build_sim.time_s, build_s=None, data=data,
             input_bytes=n_bytes)
 
+    def _cached_build(self, dataset: HomogenizedDataset, cache
+                      ) -> tuple[Any, WorkProfile]:
+        """Produce (data, build_profile), through ``cache`` when given.
+
+        Layer 2 of the artifact cache: the built structure's arrays and
+        the recorded build profile round-trip through one ``.npy``
+        bundle keyed by input bytes + system + build knobs.  A corrupt
+        or stale entry falls back to a fresh build (and is evicted).
+        """
+        key = None
+        if cache is not None and self._pack_data is not None:
+            from repro.cache.keys import loaded_graph_key
+
+            key = loaded_graph_key(self, dataset)
+            hit = cache.get_arrays(key, kind=f"graph:{self.name}")
+            if hit is not None:
+                arrays, meta = hit
+                try:
+                    data = self._unpack_data(arrays, meta, dataset)
+                    profile = WorkProfile.from_arrays(
+                        arrays["profile_units"], arrays["profile_mem"],
+                        arrays["profile_skew"],
+                        meta["profile_serial_units"])
+                    return data, profile
+                except Exception as exc:
+                    cache._log.warning(
+                        "cache entry %s unusable (%s: %s); rebuilding",
+                        key, type(exc).__name__, exc)
+                    cache._evict(cache._entry_dir(key))
+
+        edges = self._read_input(dataset)
+        data, profile = self._build(edges, dataset)
+        if key is not None:
+            packed = self._pack_data(data)
+            arrays = dict(packed[0])
+            arrays.update(profile.to_arrays())
+            meta = dict(packed[1])
+            meta["profile_serial_units"] = profile.serial_units
+            cache.put_arrays(key, f"graph:{self.name}", arrays, meta)
+        return data, profile
+
     def _read_rate_key(self) -> str:
         return self.input_key
+
+    def _cache_token(self) -> dict:
+        """Build-affecting knobs beyond the input bytes (cache key
+        material); override alongside :meth:`_pack_data`."""
+        return {}
+
+    #: Systems opt into layer-2 caching by overriding ``_pack_data``
+    #: (structure -> ``(arrays, meta)``) and ``_unpack_data`` (the
+    #: inverse, reconstructing from memmap-backed arrays).  ``None``
+    #: means "not cacheable" and bypasses the cache entirely.
+    _pack_data = None
+
+    def _unpack_data(self, arrays: dict, meta: dict,
+                     dataset: HomogenizedDataset) -> Any:
+        raise NotImplementedError
 
     @abstractmethod
     def _read_input(self, dataset: HomogenizedDataset) -> EdgeList:

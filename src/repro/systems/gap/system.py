@@ -88,6 +88,27 @@ class GapSystem(GraphSystem):
     def _n_arcs(self, data: GapGraph) -> int:
         return data.n_arcs
 
+    # -- artifact cache ------------------------------------------------
+    def _cache_token(self) -> dict:
+        # Both knobs change the built bytes: int32 truncates weights at
+        # ingest, and the serialized path skips symmetrization.
+        return {"weight_dtype": self.weight_dtype,
+                "serialized": self.use_serialized}
+
+    def _pack_data(self, data: GapGraph):
+        arrays = {}
+        arrays.update(data.out.to_arrays_map("out_"))
+        arrays.update(data.inn.to_arrays_map("inn_"))
+        return arrays, {"n": data.n, "directed": data.directed}
+
+    def _unpack_data(self, arrays, meta, dataset) -> GapGraph:
+        from repro.graph.csr import CSRGraph
+
+        return GapGraph(out=CSRGraph.from_arrays_map(arrays, "out_"),
+                        inn=CSRGraph.from_arrays_map(arrays, "inn_"),
+                        n=int(meta["n"]),
+                        directed=bool(meta["directed"]))
+
     # -- kernels -------------------------------------------------------
     def _run_bfs(self, loaded, root: int, alpha: float = DEFAULT_ALPHA,
                  beta: float = DEFAULT_BETA):

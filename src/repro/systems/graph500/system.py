@@ -78,6 +78,13 @@ class Graph500System(GraphSystem):
     def _n_arcs(self, data: CSRGraph) -> int:
         return data.n_edges
 
+    # -- artifact cache ------------------------------------------------
+    def _pack_data(self, data: CSRGraph):
+        return data.to_arrays_map("g_"), {"n": data.n_vertices}
+
+    def _unpack_data(self, arrays, meta, dataset) -> CSRGraph:
+        return CSRGraph.from_arrays_map(arrays, "g_")
+
     # -- kernels -------------------------------------------------------
     def _run_bfs(self, loaded, root: int):
         parent, level, profile, stats = bfs_bitmap(loaded.data, root)

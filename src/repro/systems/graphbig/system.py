@@ -79,6 +79,24 @@ class GraphBigSystem(GraphSystem):
     def _n_arcs(self, data: PropertyGraph) -> int:
         return data.n_arcs
 
+    # -- artifact cache ------------------------------------------------
+    def _pack_data(self, data: PropertyGraph):
+        # Only the CSR is cached: the property records are kernel
+        # *outputs* (kernels replace them per run), so they are
+        # reallocated fresh on restore instead of shared read-only.
+        return data.out.to_arrays_map("out_"), {"n": data.n}
+
+    def _unpack_data(self, arrays, meta, dataset) -> PropertyGraph:
+        n = int(meta["n"])
+        props = {
+            "level": np.full(n, -1, dtype=np.int64),
+            "color": np.zeros(n, dtype=np.int64),
+            "rank": np.zeros(n, dtype=np.float64),
+            "distance": np.full(n, np.inf),
+        }
+        return PropertyGraph(out=CSRGraph.from_arrays_map(arrays, "out_"),
+                             n=n, properties=props)
+
     # -- kernels -------------------------------------------------------
     def _run_bfs(self, loaded, root: int):
         parent, level, profile, stats = kernels.bfs_queue(loaded.data, root)

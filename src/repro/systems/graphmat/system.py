@@ -116,6 +116,20 @@ class GraphMatSystem(GraphSystem):
     def _n_arcs(self, data: GraphMatMatrices) -> int:
         return data.n_arcs
 
+    # -- artifact cache ------------------------------------------------
+    def _pack_data(self, data: GraphMatMatrices):
+        arrays = {"out_degrees": data.out_degrees}
+        arrays.update(data.at.to_arrays_map("at_"))
+        arrays.update(data.at_sym.to_arrays_map("ats_"))
+        return arrays, {"n": data.n}
+
+    def _unpack_data(self, arrays, meta, dataset) -> GraphMatMatrices:
+        n = int(meta["n"])
+        return GraphMatMatrices(
+            at=DCSRMatrix.from_arrays_map(arrays, n, "at_"),
+            at_sym=DCSRMatrix.from_arrays_map(arrays, n, "ats_"),
+            out_degrees=arrays["out_degrees"], n=n)
+
     # -- kernels -------------------------------------------------------
     def _count_degree_profile(self, data: GraphMatMatrices) -> WorkProfile:
         """GraphMat's "run algorithm 1": a degree-count SpMV pass."""

@@ -109,6 +109,45 @@ class PowerGraphSystem(GraphSystem):
     def _n_arcs(self, data: PowerGraphData) -> int:
         return data.n_arcs
 
+    # -- artifact cache ------------------------------------------------
+    def _cache_token(self) -> dict:
+        # The cut depends on the partition count; the engines are
+        # rebuilt around the arrays per instance, but engine kind rides
+        # in the key so sync/async studies never alias.
+        return {"n_partitions": self.n_partitions,
+                "engine": self.engine_kind}
+
+    def _pack_data(self, data: PowerGraphData):
+        arrays = {"cut_edge_partition": data.cut.edge_partition,
+                  "cut_replicas": data.cut.replicas,
+                  "cut_master": data.cut.master}
+        arrays.update(data.engine.inn.to_arrays_map("inn_"))
+        arrays.update(data.engine.out.to_arrays_map("out_"))
+        arrays.update(data.engine_sym.inn.to_arrays_map("inns_"))
+        arrays.update(data.engine_sym.out.to_arrays_map("outs_"))
+        return arrays, {"n": data.n,
+                        "n_partitions": data.cut.n_partitions}
+
+    def _unpack_data(self, arrays, meta, dataset) -> PowerGraphData:
+        from repro.systems.powergraph.gas import AsyncGasEngine
+
+        n = int(meta["n"])
+        cut = VertexCut(n_vertices=n,
+                        n_partitions=int(meta["n_partitions"]),
+                        edge_partition=arrays["cut_edge_partition"],
+                        replicas=arrays["cut_replicas"],
+                        master=arrays["cut_master"])
+        engine_cls = (AsyncGasEngine if self.engine_kind == "async"
+                      else GasEngine)
+        return PowerGraphData(
+            engine=engine_cls(CSRGraph.from_arrays_map(arrays, "inn_"),
+                              CSRGraph.from_arrays_map(arrays, "out_"),
+                              cut),
+            engine_sym=engine_cls(
+                CSRGraph.from_arrays_map(arrays, "inns_"),
+                CSRGraph.from_arrays_map(arrays, "outs_"), cut),
+            cut=cut, n=n)
+
     # -- kernels -------------------------------------------------------
     def _run_sssp(self, loaded, root: int):
         dist, steps, profile, stats = programs.run_sssp(

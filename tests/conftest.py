@@ -24,6 +24,12 @@ def kron10():
 
 
 @pytest.fixture(scope="session")
+def kron10_unweighted():
+    """Unweighted paper-seed scale-10 Kronecker edge list."""
+    return generate_kronecker(KroneckerSpec(scale=10))
+
+
+@pytest.fixture(scope="session")
 def kron10_csr(kron10):
     """Symmetrized CSR of the scale-10 graph (the reference view)."""
     return CSRGraph.from_edge_list(kron10, symmetrize=True)

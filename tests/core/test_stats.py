@@ -40,6 +40,39 @@ class TestBootstrap:
         with pytest.raises(ConfigError):
             bootstrap_ci([1.0], confidence=1.5)
 
+    @pytest.mark.parametrize("n_resamples", (0, -5))
+    def test_rejects_nonpositive_resamples(self, n_resamples):
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0, 2.0], n_resamples=n_resamples)
+
+    def test_custom_statistic_without_axis_kwarg(self):
+        """Regression: a plain 1-D statistic (no ``axis`` keyword) must
+        be applied row-wise, not crash."""
+        rng = np.random.default_rng(4)
+        data = rng.normal(10, 2, 40)
+        lo, hi = bootstrap_ci(data, statistic=lambda v: v.max() - v.min(),
+                              n_resamples=200, seed=5)
+        assert 0.0 <= lo <= data.max() - data.min() <= hi
+
+    def test_custom_statistic_matches_vectorized(self):
+        """Row-wise fallback and the vectorized path agree exactly for
+        the same resample draw."""
+        data = np.arange(1.0, 21.0)
+        fast = bootstrap_ci(data, statistic=np.mean, n_resamples=100,
+                            seed=9)
+        slow = bootstrap_ci(data, statistic=lambda v: float(np.mean(v)),
+                            n_resamples=100, seed=9)
+        assert fast == slow
+
+    def test_scalar_returning_axis_tolerant_statistic(self):
+        """A statistic that swallows ``axis`` but reduces to a scalar
+        (wrong shape) still routes to the row-wise fallback."""
+        lo, hi = bootstrap_ci([1.0, 2.0, 3.0],
+                              statistic=lambda v, axis=None: float(
+                                  np.median(v)),
+                              n_resamples=50, seed=3)
+        assert lo <= hi
+
 
 class TestMannWhitney:
     def test_identical_samples_not_significant(self):

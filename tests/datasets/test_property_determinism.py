@@ -27,6 +27,14 @@ from repro.graph.edgelist import EdgeList
 KRON10_DIGEST = \
     "1aecfe1ca35d7f4844f3b35bbf22e42b07cb5abd726ce1ff12ce58bed72408ec"
 
+#: SHA-256 over the generated weights homogenization attaches to the
+#: unweighted seed-20170402 scale-10 Kronecker graph (the paper seed
+#: XORed with the homogenize salt).  Changed when the draw was fixed
+#: from ``uniform(low, high)`` -- a [low, high) interval -- to the
+#: Graph500's (low, high]; see CHANGES.md PR 4.
+KRON10_RANDOM_WEIGHTS_DIGEST = \
+    "322e7173884a3665f1cf88e2e85fe0d79c60bbfd317f298dc4679de3b93eca69"
+
 
 @st.composite
 def seeded_edge_lists(draw, max_n=48, max_m=160):
@@ -78,6 +86,30 @@ def test_kronecker_golden_digest(kron10):
     h.update(kron10.dst.tobytes())
     h.update(kron10.weights.tobytes())
     assert h.hexdigest() == KRON10_DIGEST
+
+
+def test_random_weights_golden_digest(kron10_unweighted):
+    """The generated SSSP weights are pinned byte-for-byte (the same
+    seed homogenization uses for this graph)."""
+    w = kron10_unweighted.with_random_weights(seed=20170402 ^ 0x5355)
+    digest = hashlib.sha256(w.weights.tobytes()).hexdigest()
+    assert digest == KRON10_RANDOM_WEIGHTS_DIGEST
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_random_weights_interval_half_open_high(seed):
+    """Weights promise uniform (0, 1]: zero is impossible (it would
+    break SSSP's strict monotonicity), 1.0 is reachable."""
+    edges = EdgeList(np.zeros(256, dtype=np.int64),
+                     np.ones(256, dtype=np.int64), 2)
+    w = edges.with_random_weights(seed=seed).weights
+    assert w.min() > 0.0
+    assert w.max() <= 1.0
+    lo, hi = 0.25, 2.5
+    w2 = edges.with_random_weights(seed=seed, low=lo, high=hi).weights
+    assert w2.min() > lo
+    assert w2.max() <= hi
 
 
 def _tree_digests(root):

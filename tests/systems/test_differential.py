@@ -118,6 +118,99 @@ def test_pagerank_agrees(kron_systems):
 
 
 # ----------------------------------------------------------------------
+# Isolated / sink roots: a root with no outgoing edges must terminate
+# with itself as the only reachable vertex (parent[root] == root,
+# dist[root] == 0) in every system -- including a vertex id past the
+# last nonempty CSR row.
+# ----------------------------------------------------------------------
+ISOLATED_ROOT = 7  # max vertex id, zero edges: CSR row past the last
+
+
+@pytest.fixture(scope="module")
+def isolated_dataset(tmp_path_factory):
+    """Undirected 8-vertex graph whose max-id vertex 7 is isolated.
+
+    Named ``kron-...`` so the Graph500 wrapper accepts it too.
+    """
+    from repro.datasets.homogenize import homogenize
+    from repro.graph.edgelist import EdgeList
+
+    src = np.array([0, 0, 1, 2, 3, 4])
+    dst = np.array([1, 2, 3, 4, 5, 6])
+    w = np.linspace(0.2, 1.0, 6)
+    edges = EdgeList(src, dst, 8, weights=w, directed=False,
+                     name="kron-isolated")
+    return homogenize(edges, tmp_path_factory.mktemp("isolated"),
+                      n_roots=4)
+
+
+def test_bfs_from_isolated_root_all_five(isolated_dataset):
+    for name in ALL_FIVE:
+        system = create_system(name, n_threads=32)
+        loaded = system.load(isolated_dataset)
+        if name == "powergraph":
+            res = system.run_toolkit_extension(loaded, "bfs-hops",
+                                               root=ISOLATED_ROOT)
+        else:
+            res = system.run(loaded, "bfs", root=ISOLATED_ROOT)
+        level = res.output["level"]
+        assert level[ISOLATED_ROOT] == 0, \
+            f"{name}: isolated root must be its own depth-0 tree"
+        others = np.delete(level, ISOLATED_ROOT)
+        assert (others == -1).all(), \
+            f"{name}: isolated root reached other vertices"
+        if name in PARENT_TREE_SYSTEMS:
+            parent = res.output["parent"]
+            assert parent[ISOLATED_ROOT] == ISOLATED_ROOT, \
+                f"{name}: parent[root] must be root"
+            assert (np.delete(parent, ISOLATED_ROOT) == -1).all()
+
+
+def test_sssp_from_isolated_root(isolated_dataset):
+    for name in SSSP_SYSTEMS:
+        system = create_system(name, n_threads=32)
+        loaded = system.load(isolated_dataset)
+        dist = system.run(loaded, "sssp",
+                          root=ISOLATED_ROOT).output["dist"]
+        assert dist[ISOLATED_ROOT] == 0.0, f"{name}: dist[root] != 0"
+        assert not np.isfinite(np.delete(dist, ISOLATED_ROOT)).any(), \
+            f"{name}: isolated root reached other vertices"
+
+
+def test_bfs_sssp_from_directed_sink_root(tmp_path_factory):
+    """Directed variant: a root with in-edges but zero out-edges (plus
+    an isolated max-id vertex) reaches only itself in the four systems
+    that load directed graphs."""
+    from repro.datasets.homogenize import homogenize
+    from repro.graph.edgelist import EdgeList
+
+    # 3 is a sink (in-edges only); 5 is isolated with the max id.
+    src = np.array([0, 0, 1, 2, 4])
+    dst = np.array([1, 2, 3, 3, 0])
+    edges = EdgeList(src, dst, 6,
+                     weights=np.array([1.0, 2.0, 1.0, 2.0, 1.0]),
+                     directed=True, name="sink")
+    ds = homogenize(edges, tmp_path_factory.mktemp("sink"), n_roots=4)
+    for root in (3, 5):
+        for name in ("gap", "graphbig", "graphmat", "powergraph"):
+            system = create_system(name, n_threads=32)
+            loaded = system.load(ds)
+            if name == "powergraph":
+                res = system.run_toolkit_extension(loaded, "bfs-hops",
+                                                   root=root)
+            else:
+                res = system.run(loaded, "bfs", root=root)
+            level = res.output["level"]
+            assert level[root] == 0, f"{name}: level[{root}] != 0"
+            assert (np.delete(level, root) == -1).all(), \
+                f"{name}: sink root {root} reached other vertices"
+            dist = system.run(loaded, "sssp", root=root).output["dist"]
+            assert dist[root] == 0.0
+            assert not np.isfinite(np.delete(dist, root)).any(), \
+                f"{name}: sink root {root} has finite distances"
+
+
+# ----------------------------------------------------------------------
 # Real-world fixture graphs: the same agreements hold off-Kronecker
 # (the Graph500 only loads its own generator's graphs, so four systems)
 # ----------------------------------------------------------------------

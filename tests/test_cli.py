@@ -1,5 +1,7 @@
 """Tests for the five-command CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -133,3 +135,107 @@ def test_reproduce_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "REPORT.md" in out
     assert (tmp_path / "REPORT.md").exists()
+
+
+# ----------------------------------------------------------------------
+# Trace inspection on an untraced run dir: exit code 12, one line
+# ----------------------------------------------------------------------
+def test_metrics_without_events_exits_12(tmp_path, capsys):
+    (tmp_path / "logs").mkdir()  # a plausible run dir, just untraced
+    assert main(["metrics", str(tmp_path)]) == 12
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert "TraceError" in err
+
+
+def test_trace_without_events_exits_12(tmp_path, capsys):
+    (tmp_path / "logs").mkdir()
+    assert main(["trace", str(tmp_path)]) == 12
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert "TraceError" in err
+
+
+# ----------------------------------------------------------------------
+# epg cache ls|gc|verify|clear
+# ----------------------------------------------------------------------
+@pytest.fixture
+def populated_cache(tmp_path):
+    import numpy as np
+
+    from repro.cache import ArtifactCache
+
+    cache = ArtifactCache(tmp_path / "cache")
+    for i in range(3):
+        cache.put_arrays(f"{i:02d}aa{'f' * 28}", "graph:test",
+                         {"data": np.full(64, i, dtype=np.int64)})
+    return tmp_path / "cache"
+
+
+def test_cache_ls(populated_cache, capsys):
+    assert main(["cache", "ls", "--dir", str(populated_cache)]) == 0
+    out = capsys.readouterr().out
+    assert "3 entries" in out
+    assert "graph:test" in out
+
+
+def test_cache_verify_clean_and_corrupt(populated_cache, capsys):
+    assert main(["cache", "verify", "--dir", str(populated_cache)]) == 0
+    assert "3 entries verified" in capsys.readouterr().out
+    victim = next((populated_cache / "objects").glob("*/*/data.npy"))
+    victim.write_bytes(b"garbage")
+    assert main(["cache", "verify", "--dir", str(populated_cache)]) == 1
+    out = capsys.readouterr().out
+    assert "digest mismatch" in out
+    assert "2 kept" in out
+
+
+def test_cache_gc_and_clear(populated_cache, capsys):
+    assert main(["cache", "gc", "--dir", str(populated_cache),
+                 "--max-bytes", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "evicted" in out
+    assert main(["cache", "clear", "--dir", str(populated_cache)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "ls", "--dir", str(populated_cache)]) == 0
+    assert "0 entries" in capsys.readouterr().out
+
+
+def test_cache_gc_without_budget_exits_13(populated_cache, capsys):
+    assert main(["cache", "gc", "--dir", str(populated_cache)]) == 13
+    assert "CacheError" in capsys.readouterr().err
+
+
+def test_cache_on_missing_dir_exits_13(tmp_path, capsys):
+    assert main(["cache", "ls", "--dir", str(tmp_path / "nope")]) == 13
+    assert "CacheError" in capsys.readouterr().err
+
+
+def test_cache_max_bytes_flag_rejects_garbage(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["cache", "gc", "--dir", str(tmp_path),
+              "--max-bytes", "lots"])
+
+
+def test_reproduce_with_cache_dir(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["reproduce", "--output", str(tmp_path / "a"),
+                 "--scale", "7", "--roots", "2", "--no-svg",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert (cache / "objects").is_dir()
+    assert main(["reproduce", "--output", str(tmp_path / "b"),
+                 "--scale", "7", "--roots", "2", "--no-svg",
+                 "--cache-dir", str(cache), "--cache-max-bytes",
+                 "2G", "--jobs", "4"]) == 0
+    capsys.readouterr()
+    assert ((tmp_path / "a" / "REPORT.md").read_bytes()
+            == (tmp_path / "b" / "REPORT.md").read_bytes())
+
+    def provenance(run):
+        doc = json.loads((tmp_path / run / "kron" / "provenance.json")
+                         .read_text(encoding="utf-8"))
+        doc["config"].pop("output_dir")  # the only inherent difference
+        return doc
+
+    assert provenance("a") == provenance("b")
