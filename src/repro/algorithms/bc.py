@@ -17,14 +17,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.frontier import dedup_ids, gather_slots
+from repro.graph.scratch import scratch_for
 
 __all__ = ["betweenness_centrality", "brandes_single_source"]
 
 
 def brandes_single_source(graph: CSRGraph, source: int
                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """One Brandes sweep: returns (dependency, sigma, level)."""
+    """One Brandes sweep: returns (dependency, sigma, level).
+
+    Frontier expansion uses the shared slot gather; the ``sigma`` and
+    ``delta`` accumulations stay ``np.add.at`` -- float sums must keep
+    their historical association to stay byte-identical.
+    """
     n = graph.n_vertices
+    scratch = scratch_for(graph, n, graph.n_edges)
     level = np.full(n, -1, dtype=np.int64)
     sigma = np.zeros(n, dtype=np.float64)
     level[source] = 0
@@ -35,18 +43,14 @@ def brandes_single_source(graph: CSRGraph, source: int
     # sigma[parent] over all tree-level edges.
     while True:
         frontier = frontiers[-1]
-        starts = graph.row_ptr[frontier]
-        counts = graph.row_ptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        gs = gather_slots(graph.row_ptr, frontier, scratch)
+        if gs.total == 0:
             break
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        slots = np.repeat(starts - offsets, counts) + np.arange(total)
-        nbrs = graph.col_idx[slots]
-        srcs = np.repeat(frontier, counts)
+        nbrs = graph.col_idx[gs.slots]
+        srcs = np.repeat(frontier, gs.counts)
         depth = level[frontier[0]] + 1
         fresh = level[nbrs] == -1
-        new_v = np.unique(nbrs[fresh])
+        new_v = dedup_ids(nbrs[fresh], n, scratch)
         level[new_v] = depth
         # Path counts flow along *all* edges into the next level.
         into_next = level[nbrs] == depth
@@ -59,15 +63,11 @@ def brandes_single_source(graph: CSRGraph, source: int
     # sigma[v]/sigma[w] * (1 + delta[w]).
     delta = np.zeros(n, dtype=np.float64)
     for frontier in reversed(frontiers[1:]):
-        starts = graph.row_ptr[frontier]
-        counts = graph.row_ptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        gs = gather_slots(graph.row_ptr, frontier, scratch)
+        if gs.total == 0:
             continue
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        slots = np.repeat(starts - offsets, counts) + np.arange(total)
-        nbrs = graph.col_idx[slots]
-        srcs = np.repeat(frontier, counts)
+        nbrs = graph.col_idx[gs.slots]
+        srcs = np.repeat(frontier, gs.counts)
         # Predecessor edges run from level d-1 to d; here we iterate
         # vertices at level d and pull from their successors at d+1 --
         # equivalently push contributions to their predecessors, so

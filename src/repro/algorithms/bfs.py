@@ -4,6 +4,11 @@ One frontier expansion per level: gather all neighbors of the frontier,
 keep the unvisited ones, record parents with "first writer wins"
 semantics resolved deterministically (lowest parent id), matching what a
 sequential textbook BFS would produce so results are reproducible.
+
+The expansion and parent claim are the shared
+:func:`~repro.graph.frontier.gather_slots` /
+:func:`~repro.graph.frontier.claim_first_parent` primitives
+(bit-identical to the historical lexsort idiom; see ``docs/kernels.md``).
 """
 
 from __future__ import annotations
@@ -11,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.frontier import claim_first_parent, gather_slots
+from repro.graph.scratch import scratch_for
 
 __all__ = ["bfs_parents", "bfs_levels"]
 
@@ -22,37 +29,24 @@ def bfs_parents(graph: CSRGraph, root: int) -> tuple[np.ndarray, np.ndarray]:
     ``parent[root] == root``.
     """
     n = graph.n_vertices
+    scratch = scratch_for(graph, n, graph.n_edges)
     parent = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
     parent[root] = root
     level[root] = 0
+    visited[root] = True
     frontier = np.array([root], dtype=np.int64)
     depth = 0
     while frontier.size:
         depth += 1
-        starts = graph.row_ptr[frontier]
-        counts = graph.row_ptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        gs = gather_slots(graph.row_ptr, frontier, scratch)
+        if gs.total == 0:
             break
-        # Gather all neighbor slots of the frontier in one shot.
-        idx = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
-                        counts) + np.arange(total)
-        nbrs = graph.col_idx[idx]
-        srcs = np.repeat(frontier, counts)
-        fresh = parent[nbrs] == -1
-        nbrs = nbrs[fresh]
-        srcs = srcs[fresh]
-        if nbrs.size == 0:
-            break
+        nbrs = graph.col_idx[gs.slots]
+        srcs = np.repeat(frontier, gs.counts)
         # Deterministic tie-break: lowest source id claims the vertex.
-        order = np.lexsort((srcs, nbrs))
-        nbrs_sorted = nbrs[order]
-        srcs_sorted = srcs[order]
-        first = np.ones(nbrs_sorted.size, dtype=bool)
-        first[1:] = nbrs_sorted[1:] != nbrs_sorted[:-1]
-        new_v = nbrs_sorted[first]
-        parent[new_v] = srcs_sorted[first]
+        new_v = claim_first_parent(nbrs, srcs, visited, parent, scratch)
         level[new_v] = depth
         frontier = new_v
     return parent, level

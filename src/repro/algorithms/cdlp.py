@@ -30,7 +30,13 @@ def propagate_labels_once(src: np.ndarray, dst: np.ndarray,
         return labels.copy()
     v = dst
     lab = labels[src]
-    order = np.lexsort((lab, v))
+    if n <= np.iinfo(np.int64).max // max(n, 1):
+        # Labels are vertex ids (< n), so (v, label) packs into one
+        # int64 key and a single stable (radix) argsort replaces the
+        # two-key lexsort -- same permutation, both sorts are stable.
+        order = np.argsort(v * np.int64(n) + lab, kind="stable")
+    else:  # pragma: no cover - n beyond any harness scale
+        order = np.lexsort((lab, v))
     v_s = v[order]
     lab_s = lab[order]
     # Run starts of equal (v, label) pairs.

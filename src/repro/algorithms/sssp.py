@@ -31,13 +31,18 @@ def sssp_dijkstra(graph: CSRGraph, root: int) -> np.ndarray:
     dst = graph.col_idx
     w = graph.weights
     if graph.n_edges:
+        # Min weight per (src, dst) pair: one radix argsort on the
+        # combined integer key + segmented min, instead of the old
+        # two-key ``np.lexsort((w, key))`` (same selected weights --
+        # the minimum of a run is order-independent).
         key = src * np.int64(n) + dst
-        order = np.lexsort((w, key))
+        order = np.argsort(key, kind="stable")
         key_sorted = key[order]
         first = np.ones(key_sorted.size, dtype=bool)
         first[1:] = key_sorted[1:] != key_sorted[:-1]
         sel = order[first]
-        src, dst, w = src[sel], dst[sel], w[sel]
+        src, dst = src[sel], dst[sel]
+        w = np.minimum.reduceat(w[order], np.flatnonzero(first))
     mat = sp.csr_matrix((w, (src, dst)), shape=(n, n))
     dist = csgraph.dijkstra(mat, directed=True, indices=root)
     return np.asarray(dist, dtype=np.float64)

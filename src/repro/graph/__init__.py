@@ -13,10 +13,18 @@ built on:
   the representation GraphMat layers its SpMV kernels on.
 * :mod:`~repro.graph.validation` -- the Graph500 result-validation rules
   (BFS tree checks) plus SSSP/PageRank verifiers used by the test suite.
+* :mod:`~repro.graph.frontier` + :mod:`~repro.graph.scratch` -- the
+  shared frontier-primitive library (slot expansion, first-parent
+  claims, relaxation scatter, dedup) every system's per-round hot loop
+  runs on, with preallocated per-graph scratch (see
+  ``docs/kernels.md`` for the bit-identity contract).
 """
 
 from repro.graph.edgelist import EdgeList
 from repro.graph.csr import CSRGraph
 from repro.graph.dcsr import DCSRMatrix
+from repro.graph.frontier import Frontier
+from repro.graph.scratch import KernelScratch, scratch_for
 
-__all__ = ["EdgeList", "CSRGraph", "DCSRMatrix"]
+__all__ = ["EdgeList", "CSRGraph", "DCSRMatrix", "Frontier",
+           "KernelScratch", "scratch_for"]

@@ -40,6 +40,10 @@ class CSRGraph:
     col_idx: np.ndarray
     weights: np.ndarray | None = None
 
+    #: Derived-structure caches (set lazily via ``object.__setattr__``;
+    #: not dataclass fields, dropped from pickles).
+    _MEMO_ATTRS = ("_source_ids", "_transposed")
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
@@ -88,6 +92,16 @@ class CSRGraph:
             object.__setattr__(self, "weights", w)
             if w.shape != ci.shape:
                 raise GraphFormatError("weights must align with col_idx")
+
+    def __getstate__(self) -> dict:
+        """Pickle only the defining arrays, never the memo caches
+        (workers rebuild them lazily; shipping them would double the
+        payload)."""
+        return {k: v for k, v in self.__dict__.items()
+                if k not in self._MEMO_ATTRS}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Serialization (repro.cache array bundles)
@@ -151,35 +165,58 @@ class CSRGraph:
     # Derived structures
     # ------------------------------------------------------------------
     def transposed(self) -> "CSRGraph":
-        """CSR of the reverse graph (i.e. CSC of this one).
+        """CSR of the reverse graph (i.e. CSC of this one), memoized.
 
         Direction-optimizing BFS and pull-style PageRank need incoming
-        adjacency; GAP builds and stores both directions.
+        adjacency; GAP builds and stores both directions.  Systems that
+        used to rebuild the transpose per kernel now share one copy per
+        graph instance.
         """
-        n = self.n_vertices
-        src = self.source_ids()
-        return CSRGraph.from_arrays(self.col_idx, src, n, weights=self.weights)
+        cached = self.__dict__.get("_transposed")
+        if cached is None:
+            n = self.n_vertices
+            src = self.source_ids()
+            cached = CSRGraph.from_arrays(self.col_idx, src, n,
+                                          weights=self.weights)
+            object.__setattr__(self, "_transposed", cached)
+        return cached
 
     def source_ids(self) -> np.ndarray:
-        """Expand ``row_ptr`` back into a per-arc source array."""
-        return np.repeat(
-            np.arange(self.n_vertices, dtype=np.int64), self.out_degrees())
+        """Expand ``row_ptr`` back into a per-arc source array.
+
+        Memoized and returned read-only: PageRank sweeps, CDLP rounds,
+        and WCC all ask for it repeatedly, and before memoization each
+        request re-ran the ``np.repeat`` expansion over every arc.
+        """
+        cached = self.__dict__.get("_source_ids")
+        if cached is None:
+            cached = np.repeat(
+                np.arange(self.n_vertices, dtype=np.int64),
+                self.out_degrees())
+            cached.setflags(write=False)
+            object.__setattr__(self, "_source_ids", cached)
+        return cached
 
     def to_edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         return self.source_ids(), self.col_idx.copy()
 
     def to_scipy(self):
-        """Export as ``scipy.sparse.csr_matrix`` (weights default to 1)."""
+        """Export as ``scipy.sparse.csr_matrix`` (weights default to 1).
+
+        Indices stay ``int64``: the old ``int32`` cast silently wrapped
+        column ids past 2^31, corrupting the matrix on graphs with more
+        than ~2.1e9 vertices or arcs instead of failing.  scipy picks a
+        safe index dtype itself (downcasting only when the values fit);
+        ``copy=True`` keeps the export from aliasing -- and its callers
+        from mutating -- the graph's own arrays.
+        """
         import scipy.sparse as sp
 
         data = (self.weights if self.weights is not None
                 else np.ones(self.n_edges, dtype=np.float64))
         n = self.n_vertices
         return sp.csr_matrix(
-            (data, self.col_idx.astype(np.int32, copy=False),
-             self.row_ptr.astype(np.int64, copy=False)),
-            shape=(n, n),
-        )
+            (data, self.col_idx, self.row_ptr), shape=(n, n), copy=True)
 
     def has_arc(self, u: int, v: int) -> bool:
         nbrs = self.neighbors(u)

@@ -135,8 +135,25 @@ class DCSRMatrix:
         return total
 
     def row_sources(self) -> np.ndarray:
-        """Per-entry row ids (expanded), used by the SpMV kernels."""
-        return np.repeat(self.row_ids, np.diff(self.row_ptr))
+        """Per-entry row ids (expanded), used by the SpMV kernels.
+
+        Memoized read-only, mirroring
+        :meth:`~repro.graph.csr.CSRGraph.source_ids`: the CDLP/LCC
+        kernels ask for it on every invocation.
+        """
+        cached = self.__dict__.get("_row_sources")
+        if cached is None:
+            cached = np.repeat(self.row_ids, np.diff(self.row_ptr))
+            cached.setflags(write=False)
+            object.__setattr__(self, "_row_sources", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items()
+                if k != "_row_sources"}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Generalized SpMV over (multiply, add) semirings -- the GraphMat

@@ -1,0 +1,278 @@
+"""Shared frontier primitives for the per-round kernel hot path.
+
+Every system EPG* times runs the same per-round skeleton -- gather the
+out-slots of the active vertex set, filter, claim/reduce per
+destination -- and until this module each of the five systems (plus the
+reference algorithms) re-implemented it with fresh NumPy temporaries and
+``O(E log E)`` sort-based dedup per round.  This is the consolidated,
+benchmarked version: Ligra's edgeMap idea (Dhulipala, Blelloch & Shun's
+GBBS keeps one frontier abstraction across all algorithms) applied to
+the vectorized-NumPy setting, with preallocated per-graph scratch
+(:mod:`repro.graph.scratch`).
+
+**Bit-identity contract.**  Each primitive computes *exactly* the same
+arrays as the idiom it replaces (``np.repeat``+``cumsum``+``arange``
+slot expansion, ``np.lexsort`` first-parent dedup, ``np.minimum.at`` +
+``np.unique`` relaxation).  Equality is provable, not approximate:
+
+* :func:`gather_slots` produces the identical ``int64`` slot vector via
+  an integer cumulative sum (exact arithmetic, different association);
+* :func:`claim_first_parent` selects the minimum source per target --
+  the same winner ``np.lexsort((srcs, nbrs))`` + first-occurrence picks
+  -- either by reverse-order scatter (last write wins, so the first =
+  minimum source lands; requires the documented non-decreasing ``srcs``)
+  or by stable sort + ``minimum.reduceat`` on small rounds;
+* :func:`segment_min_scatter` applies the same ``np.minimum.at`` update
+  (minimum is exact and order-independent over floats without NaN) and
+  rebuilds ``np.unique``'s sorted-unique output with a boolean-mask
+  pass;
+* :func:`dedup_ids` is ``np.unique`` for bounded non-negative ids.
+
+Floating-point *sums* (``np.add.at`` in PageRank and Brandes) are left
+untouched everywhere: re-associating additions changes low-order bits,
+which the byte-identity gate (``benchmarks/bench_kernels.py``) would
+reject.
+
+The gate also enforces the point of the exercise: >=2x on the
+gathered-edge hot loop at Kronecker scale 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.scratch import COUNTERS, KernelScratch
+
+__all__ = ["GatherSlots", "gather_slots", "claim_first_parent",
+           "segment_min_scatter", "dedup_ids", "Frontier",
+           "DENSE_FRONTIER_DENSITY"]
+
+#: Sparse-list frontiers denser than this switch to bitmap form (the
+#: Ligra-style |F| > n/32 rule of thumb: beyond it a dense bool sweep
+#: beats maintaining a sorted id list).
+DENSE_FRONTIER_DENSITY = 1.0 / 32.0
+
+#: Below ``n >> _SMALL_SHIFT`` touched elements, sort-based paths beat
+#: O(n) mask sweeps; both sides are bit-identical so this is purely a
+#: constant-factor switch.
+_SMALL_SHIFT = 4
+
+
+@dataclass(frozen=True)
+class GatherSlots:
+    """One frontier expansion: views into scratch, valid until the next
+    :func:`gather_slots` on the same scratch.
+
+    Attributes
+    ----------
+    slots:
+        ``int64[total]`` indices into ``col_idx``/``weights`` covering
+        every out-slot of the frontier, in frontier order.
+    counts:
+        ``int64[|frontier|]`` out-degrees of the frontier vertices.
+    offsets:
+        ``int64[|frontier|]`` start of each vertex's segment in
+        ``slots`` (exclusive cumulative sum of ``counts``).
+    total:
+        ``int(counts.sum())`` -- the gathered edge count the work
+        profiles price.
+    """
+
+    slots: np.ndarray
+    counts: np.ndarray
+    offsets: np.ndarray
+    total: int
+
+
+def gather_slots(row_ptr: np.ndarray, frontier: np.ndarray,
+                 scratch: KernelScratch) -> GatherSlots:
+    """Expand ``frontier`` into the slot indices of all its out-edges.
+
+    Replaces the ``np.repeat(starts - offsets, counts) +
+    np.arange(total)`` idiom with a single integer ``cumsum`` over a
+    mostly-ones difference vector written into preallocated scratch:
+    within a vertex's segment consecutive slots differ by one, and at
+    each segment boundary the difference re-bases to that vertex's
+    ``row_ptr`` start.  Exact integer arithmetic makes the result
+    bit-identical to the old five-temporary version.
+    """
+    starts = row_ptr[frontier]
+    ends = row_ptr[frontier + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    offsets = scratch.seg_i64(max(counts.size, 1))[:counts.size]
+    if counts.size:
+        offsets[0] = 0
+        np.cumsum(counts[:-1], out=offsets[1:])
+    COUNTERS["gather_edges"] += float(total)
+    if total == 0:
+        return GatherSlots(np.empty(0, dtype=np.int64), counts,
+                           offsets, 0)
+    slots = scratch.edge_i64(total)
+    slots[:] = 1
+    segs = np.flatnonzero(counts)
+    bounds = offsets[segs]
+    slots[bounds[0]] = starts[segs[0]]
+    if segs.size > 1:
+        # Boundary difference: previous segment ended at ends[prev] - 1.
+        slots[bounds[1:]] = starts[segs[1:]] - ends[segs[:-1]] + 1
+    np.cumsum(slots, out=slots)
+    return GatherSlots(slots, counts, offsets, total)
+
+
+def claim_first_parent(nbrs: np.ndarray, srcs: np.ndarray,
+                       visited: np.ndarray, parent: np.ndarray,
+                       scratch: KernelScratch) -> np.ndarray:
+    """Claim every unvisited target in ``nbrs`` for its smallest source.
+
+    Replaces the per-round ``np.lexsort((srcs, nbrs))`` +
+    first-occurrence dedup.  ``srcs`` must be non-decreasing -- always
+    true for frontier expansions, since frontiers are sorted vertex ids
+    and :func:`gather_slots` emits segments in frontier order.  Under
+    that precondition a *reverse-order* scatter leaves, for each target,
+    the value of its first (= minimum) source: NumPy assignment with
+    duplicate indices stores the last write.  Visited targets are
+    dropped afterwards, which is equivalent to the old pre-filter
+    because a still-unvisited target keeps all of its frontier edges.
+
+    Writes ``parent[new] = min src`` and ``visited[new] = True``;
+    returns the sorted ids of newly claimed vertices (the next
+    frontier), exactly as the lexsort version produced them.
+
+    On rounds touching far fewer edges than ``n`` the O(n) mask sweep
+    would dominate, so a stable counting sort (NumPy's radix path for
+    int64) + ``minimum.reduceat`` computes the same winners instead.
+    """
+    if nbrs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    n = visited.size
+    if nbrs.size < (n >> _SMALL_SHIFT):
+        order = np.argsort(nbrs, kind="stable")
+        nbrs_s = nbrs[order]
+        first = np.ones(nbrs_s.size, dtype=bool)
+        first[1:] = nbrs_s[1:] != nbrs_s[:-1]
+        uniq = nbrs_s[first]
+        mins = np.minimum.reduceat(srcs[order], np.flatnonzero(first))
+        fresh = ~visited[uniq]
+        new_v = uniq[fresh]
+        parent[new_v] = mins[fresh]
+        visited[new_v] = True
+        return new_v
+    mask = scratch.mask("claim")
+    claim = scratch.vertex_i64("claim")
+    mask[nbrs] = True
+    claim[nbrs[::-1]] = srcs[::-1]
+    touched = np.flatnonzero(mask)
+    mask[touched] = False
+    new_v = touched[~visited[touched]]
+    parent[new_v] = claim[new_v]
+    visited[new_v] = True
+    return new_v
+
+
+def segment_min_scatter(dist: np.ndarray, dsts: np.ndarray,
+                        cand: np.ndarray,
+                        scratch: KernelScratch) -> np.ndarray:
+    """``dist[d] = min(dist[d], min of cand over d)`` per destination;
+    returns the sorted unique destinations.
+
+    Replaces the ``np.minimum.at`` + ``np.unique`` pair of the
+    relaxation kernels.  The minimum itself is kept as the indexed
+    ufunc (NumPy >= 1.24 ships an indexed fast path that beats
+    sort + ``minimum.reduceat`` -- measured in the kernel gate); the
+    ``O(E log E)`` ``np.unique`` sort is what actually dominated, and
+    :func:`dedup_ids` rebuilds its exact output in ``O(E + n)``.
+    Minimum over NaN-free floats is order-independent, so the update is
+    bit-identical however the duplicates were grouped.
+    """
+    np.minimum.at(dist, dsts, cand)
+    return dedup_ids(dsts, dist.size, scratch)
+
+
+def dedup_ids(ids: np.ndarray, n: int,
+              scratch: KernelScratch) -> np.ndarray:
+    """Sorted unique ids out of ``ids`` (all in ``[0, n)``).
+
+    ``np.unique`` without the sort: scatter into a scratch mask, sweep
+    once, re-clear only the touched entries.  Small inputs keep
+    ``np.unique`` (the sweep would cost O(n) regardless of input size);
+    both branches return identical arrays.
+    """
+    if ids.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if ids.size < (n >> _SMALL_SHIFT):
+        return np.unique(ids)
+    mask = scratch.mask("dedup")
+    mask[ids] = True
+    out = np.flatnonzero(mask)
+    mask[out] = False
+    return out
+
+
+class Frontier:
+    """A vertex frontier holding sparse-list and dense-bitmap forms.
+
+    The active set is canonically a sorted ``int64`` id list (what
+    top-down expansion consumes); :meth:`as_mask` materializes the
+    bitmap view on demand into per-graph scratch (what bottom-up
+    parent search and pull-style sweeps consume), clearing the previous
+    round's bits proportionally to their count.  :attr:`dense` exposes
+    the Ligra-style switch hint: past
+    :data:`DENSE_FRONTIER_DENSITY` the bitmap is the cheaper working
+    form.  The wrapper never changes which representation an
+    algorithm's *accounting* assumes -- it only keeps both forms
+    coherent and allocation-free.
+    """
+
+    __slots__ = ("n", "_scratch", "_ids", "_masked")
+
+    def __init__(self, n: int, scratch: KernelScratch,
+                 ids: np.ndarray | None = None):
+        self.n = int(n)
+        self._scratch = scratch
+        self._ids = (np.empty(0, dtype=np.int64)
+                     if ids is None else ids)
+        self._masked: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(self._ids.size)
+
+    def __bool__(self) -> bool:
+        return self._ids.size > 0
+
+    @property
+    def density(self) -> float:
+        return self._ids.size / self.n if self.n else 0.0
+
+    @property
+    def dense(self) -> bool:
+        """True when the bitmap form is the cheaper working set."""
+        return self.density >= DENSE_FRONTIER_DENSITY
+
+    # ------------------------------------------------------------------
+    def replace(self, ids: np.ndarray) -> None:
+        """Swap in the next round's id list, invalidating the bitmap."""
+        if self._masked is not None:
+            self._scratch.release_mask(self._scratch.mask("frontier"),
+                                       self._masked)
+            self._masked = None
+        self._ids = ids
+
+    def as_ids(self) -> np.ndarray:
+        return self._ids
+
+    def as_mask(self) -> np.ndarray:
+        """The ``bool[n]`` bitmap view (scratch-backed, reused)."""
+        mask = self._scratch.mask("frontier")
+        if self._masked is None:
+            mask[self._ids] = True
+            self._masked = self._ids
+        return mask
+
+    def release(self) -> None:
+        """Clear the bitmap so the scratch mask is clean for others."""
+        self.replace(np.empty(0, dtype=np.int64))

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
+from repro.graph.frontier import gather_slots
+from repro.graph.scratch import scratch_for
 from repro.graphblas.profiler import KernelProfiler
 from repro.graphblas.semiring import Semiring
 
@@ -86,22 +88,19 @@ class GrbMatrix:
         if rows.size == 0 or self.nvals == 0:
             self.profiler.record("mxv", semiring.name, 0, 0)
             return y
-        starts = self.csr.row_ptr[rows]
-        counts = self.csr.row_ptr[rows + 1] - starts
-        nonempty = counts > 0
-        rows_ne = rows[nonempty]
-        starts_ne = starts[nonempty]
-        counts_ne = counts[nonempty]
-        total = int(counts_ne.sum())
-        if total:
-            offsets = np.concatenate(([0], np.cumsum(counts_ne)[:-1]))
-            slots = np.repeat(starts_ne - offsets, counts_ne) \
-                + np.arange(total)
-            terms = semiring.combine(self.values[slots],
-                                     x[self.csr.col_idx[slots]])
+        counts = (self.csr.row_ptr[rows + 1] - self.csr.row_ptr[rows])
+        rows_ne = rows[counts > 0]
+        # Empty rows are dropped first: ``reduce_segments`` (reduceat)
+        # needs every segment non-empty; the shared gather then yields
+        # the identical slots/offsets the inline expansion produced.
+        gs = gather_slots(self.csr.row_ptr, rows_ne,
+                          scratch_for(self.csr, self.n, self.nvals))
+        if gs.total:
+            terms = semiring.combine(self.values[gs.slots],
+                                     x[self.csr.col_idx[gs.slots]])
             y[rows_ne] = semiring.reduce_segments(
-                terms.astype(np.float64), offsets)
-        self.profiler.record("mxv", semiring.name, total, rows.size)
+                terms.astype(np.float64), gs.offsets)
+        self.profiler.record("mxv", semiring.name, gs.total, rows.size)
         return y
 
     def vxm(self, semiring: Semiring, x: np.ndarray,

@@ -44,6 +44,10 @@ METRIC_HELP = {
     "epg_cache_evictions_total":
         "Artifact-cache entries evicted (LRU GC or corruption).",
     "epg_cache_bytes": "Bytes currently stored in the artifact cache.",
+    "epg_kernel_gather_edges":
+        "Edges expanded through the shared frontier gather, per kernel.",
+    "epg_kernel_scratch_reuse":
+        "Kernel scratch buffers served without a fresh allocation.",
 }
 
 #: Default histogram buckets (log-ish spacing over harness durations).

@@ -20,6 +20,7 @@ import numpy as np
 from repro.datasets.homogenize import HomogenizedDataset
 from repro.errors import SystemCapabilityError
 from repro.graph.edgelist import EdgeList
+from repro.graph.scratch import consume_counters
 from repro.machine.spec import MachineSpec, haswell_server
 from repro.machine.threads import SimResult, ThreadModel, WorkProfile
 from repro.observability import Tracer
@@ -268,6 +269,15 @@ class GraphSystem(ABC):
                                         self.machine),
                 self.n_threads)
             sp.set(time_s=sim.time_s, iterations=iterations)
+        # Drain the frontier-library counters accumulated by this kernel
+        # into the live registry only (log=False, the cache-counter rule:
+        # events.jsonl stays invariant to kernel internals).
+        kernel_counters = consume_counters()
+        for name, value in kernel_counters.items():
+            if value:
+                self.tracer.counter(f"epg_kernel_{name}", value,
+                                    log=False, system=self.name,
+                                    algorithm=algorithm)
         self.tracer.observe("epg_kernel_seconds", sim.time_s,
                             system=self.name, algorithm=algorithm)
         edges = counters.get("edges_examined", loaded.n_arcs)

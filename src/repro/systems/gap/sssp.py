@@ -8,15 +8,27 @@ at defaults (Sec. V); for the uniform (0,1] weights of the homogenized
 datasets we default to 0.25.
 
 The relaxation loop is vectorized: one round gathers every out-edge of
-the current bucket and applies ``np.minimum.at`` -- the count of those
-gathered edges is exactly the work the cost model prices.
+the current bucket (:func:`~repro.graph.frontier.gather_slots`) and
+applies :func:`~repro.graph.frontier.segment_min_scatter` -- the count
+of those gathered edges is exactly the work the cost model prices.
+
+Bucket membership is tracked lazily: vertices are pushed onto per-bucket
+pending lists as their tentative bucket changes and stale entries are
+filtered on pop (``bucket[v] == k``), replacing the old ``O(n)``
+``np.flatnonzero(bucket == current)`` scan per bucket -- pure queue
+bookkeeping, so the (bucket, members) sequence, distances, stats, and
+profile are unchanged.
 """
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.errors import SystemCapabilityError
+from repro.graph.frontier import gather_slots, segment_min_scatter
+from repro.graph.scratch import KernelScratch, scratch_for
 from repro.machine.threads import WorkProfile
 from repro.systems.gap.graph import GapGraph
 
@@ -26,35 +38,69 @@ DEFAULT_DELTA = 0.25
 
 
 def _relax(out, frontier: np.ndarray, dist: np.ndarray,
-           light_mask: np.ndarray | None
+           light_mask: np.ndarray | None, scratch: KernelScratch
            ) -> tuple[np.ndarray, int]:
     """Relax the (light or heavy or all) out-edges of ``frontier``.
 
     Returns (vertices whose distance improved, edges relaxed).
     """
-    starts = out.row_ptr[frontier]
-    counts = out.row_ptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
+    gs = gather_slots(out.row_ptr, frontier, scratch)
+    if gs.total == 0:
         return np.empty(0, dtype=np.int64), 0
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    slots = np.repeat(starts - offsets, counts) + np.arange(total)
-    srcs = np.repeat(frontier, counts)
+    slots = gs.slots
+    srcs = np.repeat(frontier, gs.counts)
     if light_mask is not None:
         keep = light_mask[slots]
         slots = slots[keep]
         srcs = srcs[keep]
         if slots.size == 0:
-            return np.empty(0, dtype=np.int64), total
+            return np.empty(0, dtype=np.int64), gs.total
     dsts = out.col_idx[slots]
     cand = dist[srcs] + out.weights[slots]
     better = cand < dist[dsts]
     dsts_b = dsts[better]
     cand_b = cand[better]
     if dsts_b.size == 0:
-        return np.empty(0, dtype=np.int64), total
-    np.minimum.at(dist, dsts_b, cand_b)
-    return np.unique(dsts_b), total
+        return np.empty(0, dtype=np.int64), gs.total
+    improved = segment_min_scatter(dist, dsts_b, cand_b, scratch)
+    return improved, gs.total
+
+
+class _BucketQueue:
+    """Lazy bucket membership: pending id lists + a min-heap of bucket
+    keys.  ``bucket`` (the array) stays the source of truth; entries that
+    went stale between push and pop are filtered by ``bucket[v] == k``.
+    Invariant: every vertex with ``bucket[v] == k >= 0`` has at least one
+    entry in ``pending[k]``, so a pop yields exactly the sorted-unique
+    set the old full scan produced.
+    """
+
+    __slots__ = ("_pending", "_heap")
+
+    def __init__(self) -> None:
+        self._pending: dict[int, list[np.ndarray]] = {}
+        self._heap: list[int] = []
+
+    def push(self, vertices: np.ndarray, keys: np.ndarray) -> None:
+        for k in np.unique(keys):
+            k = int(k)
+            lst = self._pending.get(k)
+            if lst is None:
+                self._pending[k] = [vertices[keys == k]]
+                heapq.heappush(self._heap, k)
+            else:
+                lst.append(vertices[keys == k])
+
+    def pop(self, bucket: np.ndarray) -> tuple[int, np.ndarray] | None:
+        """Lowest bucket with live members, or ``None`` when drained."""
+        while self._heap:
+            k = heapq.heappop(self._heap)
+            parts = self._pending.pop(k)
+            cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            members = np.unique(cand[bucket[cand] == k])
+            if members.size:
+                return k, members
+        return None
 
 
 def delta_stepping(graph: GapGraph, root: int,
@@ -67,6 +113,7 @@ def delta_stepping(graph: GapGraph, root: int,
     if delta <= 0:
         raise SystemCapabilityError("delta must be positive")
     n = graph.n
+    scratch = scratch_for(graph, n, out.n_edges)
     dist = np.full(n, np.inf)
     dist[root] = 0.0
     light = out.weights < delta
@@ -75,23 +122,21 @@ def delta_stepping(graph: GapGraph, root: int,
 
     bucket = np.full(n, -1, dtype=np.int64)
     bucket[root] = 0
+    queue = _BucketQueue()
+    queue.push(np.array([root], dtype=np.int64),
+               np.zeros(1, dtype=np.int64))
     relaxations = 0
     phases = 0
-    current = 0
-    # Upper bound on bucket index given weights <= max weight sum paths.
     while True:
-        members = np.flatnonzero(bucket == current)
-        if members.size == 0:
-            ahead = bucket[bucket > current]
-            if ahead.size == 0:
-                break
-            current = int(ahead.min())
-            continue
+        head = queue.pop(bucket)
+        if head is None:
+            break
+        current, members = head
         settled_this_bucket: list[np.ndarray] = []
         # Light-edge phases: iterate inside the bucket.
         while members.size:
             phases += 1
-            improved, examined = _relax(out, members, dist, light)
+            improved, examined = _relax(out, members, dist, light, scratch)
             relaxations += examined
             # Edge-parallel relaxation: hub skew capped (see bfs.py).
             skew = min(max_deg / max(examined, 1.0), 0.15)
@@ -105,6 +150,11 @@ def delta_stepping(graph: GapGraph, root: int,
                     np.iinfo(np.int64).max)
                 stay = new_bucket == current
                 bucket[improved] = new_bucket
+                # Non-negative weights guarantee new_bucket >= current,
+                # so everything not staying belongs to a later bucket.
+                ahead = ~stay
+                if ahead.any():
+                    queue.push(improved[ahead], new_bucket[ahead])
                 members = improved[stay]
             else:
                 members = np.empty(0, dtype=np.int64)
@@ -112,7 +162,7 @@ def delta_stepping(graph: GapGraph, root: int,
         settled = np.unique(np.concatenate(settled_this_bucket))
         phases += 1
         heavy = ~light
-        improved, examined = _relax(out, settled, dist, heavy)
+        improved, examined = _relax(out, settled, dist, heavy, scratch)
         relaxations += examined
         skew = min(max_deg / max(examined, 1.0), 0.15)
         profile.add_round(units=examined + settled.size,
@@ -120,8 +170,9 @@ def delta_stepping(graph: GapGraph, root: int,
         if improved.size:
             nb = (dist[improved] / delta).astype(np.int64)
             # Never reopen below the current bucket (weights >= 0).
-            bucket[improved] = np.maximum(nb, current + 1)
-        current += 1
+            nb = np.maximum(nb, current + 1)
+            bucket[improved] = nb
+            queue.push(improved, nb)
 
     stats = {"phases": phases, "relaxations": relaxations,
              "delta": delta}

@@ -8,6 +8,11 @@ wins).  Every frontier out-edge is examined, so the per-root work is
 ~``m`` arcs regardless of graph shape -- the reason the Graph500's
 per-edge constant is the leanest but its examined-edge count the
 highest (see calibration anchors).
+
+The expansion/claim loop is the shared
+:func:`~repro.graph.frontier.gather_slots` +
+:func:`~repro.graph.frontier.claim_first_parent` pair (bit-identical to
+the old per-system lexsort idiom; ``docs/kernels.md``).
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.frontier import claim_first_parent, gather_slots
+from repro.graph.scratch import scratch_for
 from repro.machine.threads import WorkProfile
 
 __all__ = ["bfs_bitmap"]
@@ -24,6 +31,7 @@ def bfs_bitmap(csr: CSRGraph, root: int
                ) -> tuple[np.ndarray, np.ndarray, WorkProfile, dict]:
     """Return (parent, level, profile, stats) for one search key."""
     n = csr.n_vertices
+    scratch = scratch_for(csr, n, csr.n_edges)
     parent = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
     visited = np.zeros(n, dtype=bool)
@@ -39,32 +47,16 @@ def bfs_bitmap(csr: CSRGraph, root: int
 
     while frontier.size:
         depth += 1
-        starts = csr.row_ptr[frontier]
-        counts = csr.row_ptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        gs = gather_slots(csr.row_ptr, frontier, scratch)
+        if gs.total == 0:
             break
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        slots = np.repeat(starts - offsets, counts) + np.arange(total)
-        nbrs = csr.col_idx[slots]
-        srcs = np.repeat(frontier, counts)
-        fresh = ~visited[nbrs]
-        nbrs = nbrs[fresh]
-        srcs = srcs[fresh]
-        examined_total += total
-        skew = min(max_deg / max(total, 1.0), 1.0)
-        profile.add_round(units=total + frontier.size,
-                          memory_bytes=9.0 * total, skew=skew)
-        if nbrs.size == 0:
-            break
-        order = np.lexsort((srcs, nbrs))
-        nbrs_s = nbrs[order]
-        srcs_s = srcs[order]
-        first = np.ones(nbrs_s.size, dtype=bool)
-        first[1:] = nbrs_s[1:] != nbrs_s[:-1]
-        new_v = nbrs_s[first]
-        parent[new_v] = srcs_s[first]
-        visited[new_v] = True
+        nbrs = csr.col_idx[gs.slots]
+        srcs = np.repeat(frontier, gs.counts)
+        examined_total += gs.total
+        skew = min(max_deg / max(gs.total, 1.0), 1.0)
+        profile.add_round(units=gs.total + frontier.size,
+                          memory_bytes=9.0 * gs.total, skew=skew)
+        new_v = claim_first_parent(nbrs, srcs, visited, parent, scratch)
         level[new_v] = depth
         frontier = new_v
 

@@ -12,6 +12,9 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.graph.frontier import (claim_first_parent, gather_slots,
+                                  segment_min_scatter)
+from repro.graph.scratch import scratch_for
 from repro.machine.threads import WorkProfile
 
 __all__ = ["bfs_queue", "sssp_bellman_ford", "pagerank_jacobi",
@@ -28,32 +31,23 @@ __all__ = ["bfs_queue", "sssp_bellman_ford", "pagerank_jacobi",
 PROPERTY_ACCESS_COST = 16.0
 
 
-def _expand(csr, frontier: np.ndarray):
-    """Gather all out-slots of the frontier (shared helper)."""
-    starts = csr.row_ptr[frontier]
-    counts = csr.row_ptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return (np.empty(0, np.int64), np.empty(0, np.int64),
-                np.empty(0, np.int64), 0)
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    slots = np.repeat(starts - offsets, counts) + np.arange(total)
-    return csr.col_idx[slots], np.repeat(frontier, counts), slots, total
-
-
 def bfs_queue(pg, root: int):
     """Task-queue BFS: plain top-down, no bitmap, no direction switch.
 
     The vertex property record (level + parent + color) is touched for
     every examined edge, which is what the calibration's high per-edge
-    constant prices.
+    constant prices.  Expansion and parent claims run on the shared
+    frontier library (``docs/kernels.md``).
     """
     csr = pg.out
     n = pg.n
+    scratch = scratch_for(pg, n, csr.n_edges)
     level = np.full(n, -1, dtype=np.int64)
     parent = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
     level[root] = 0
     parent[root] = root
+    visited[root] = True
     frontier = np.array([root], dtype=np.int64)
     profile = WorkProfile()
     deg = csr.out_degrees()
@@ -61,24 +55,17 @@ def bfs_queue(pg, root: int):
     depth = 0
     while frontier.size:
         depth += 1
-        nbrs, srcs, _, total = _expand(csr, frontier)
+        gs = gather_slots(csr.row_ptr, frontier, scratch)
         profile.add_round(
-            units=total + PROPERTY_ACCESS_COST * frontier.size,
-            memory_bytes=32.0 * total,
-            skew=min(max_deg / max(total, 1.0), 1.0))
-        if total == 0:
+            units=gs.total + PROPERTY_ACCESS_COST * frontier.size,
+            memory_bytes=32.0 * gs.total,
+            skew=min(max_deg / max(gs.total, 1.0), 1.0))
+        if gs.total == 0:
             break
-        fresh = level[nbrs] == -1
-        nbrs, srcs = nbrs[fresh], srcs[fresh]
-        if nbrs.size == 0:
-            break
-        order = np.lexsort((srcs, nbrs))
-        nbrs_s, srcs_s = nbrs[order], srcs[order]
-        first = np.ones(nbrs_s.size, dtype=bool)
-        first[1:] = nbrs_s[1:] != nbrs_s[:-1]
-        new_v = nbrs_s[first]
+        nbrs = csr.col_idx[gs.slots]
+        srcs = np.repeat(frontier, gs.counts)
+        new_v = claim_first_parent(nbrs, srcs, visited, parent, scratch)
         level[new_v] = depth
-        parent[new_v] = srcs_s[first]
         frontier = new_v
     return parent, level, profile, {"depth": depth}
 
@@ -87,6 +74,7 @@ def sssp_bellman_ford(pg, root: int):
     """Queue-driven Bellman-Ford: active vertices relax all out-edges."""
     csr = pg.out
     n = pg.n
+    scratch = scratch_for(pg, n, csr.n_edges)
     dist = np.full(n, np.inf)
     dist[root] = 0.0
     active = np.array([root], dtype=np.int64)
@@ -97,21 +85,22 @@ def sssp_bellman_ford(pg, root: int):
     relaxations = 0
     while active.size:
         supersteps += 1
-        nbrs, srcs, slots, total = _expand(csr, active)
-        relaxations += total
+        gs = gather_slots(csr.row_ptr, active, scratch)
+        relaxations += gs.total
         profile.add_round(
-            units=total + PROPERTY_ACCESS_COST * active.size,
-            memory_bytes=28.0 * total,
-            skew=min(max_deg / max(total, 1.0), 1.0))
-        if total == 0:
+            units=gs.total + PROPERTY_ACCESS_COST * active.size,
+            memory_bytes=28.0 * gs.total,
+            skew=min(max_deg / max(gs.total, 1.0), 1.0))
+        if gs.total == 0:
             break
-        cand = dist[srcs] + csr.weights[slots]
+        nbrs = csr.col_idx[gs.slots]
+        srcs = np.repeat(active, gs.counts)
+        cand = dist[srcs] + csr.weights[gs.slots]
         better = cand < dist[nbrs]
         if not better.any():
             break
-        targets = nbrs[better]
-        np.minimum.at(dist, targets, cand[better])
-        active = np.unique(targets)
+        active = segment_min_scatter(dist, nbrs[better], cand[better],
+                                     scratch)
     return dist, profile, {"supersteps": supersteps,
                            "relaxations": relaxations}
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.dcsr import DCSRMatrix
+from repro.graph.frontier import gather_slots
+from repro.graph.scratch import scratch_for
 from repro.machine.threads import WorkProfile
 
 __all__ = ["bfs_spmv", "sssp_bellman_spmv", "pagerank_float32",
@@ -29,6 +31,7 @@ def _active_nnz(at: DCSRMatrix, active_mask: np.ndarray) -> float:
 def bfs_spmv(at: DCSRMatrix, out_degrees: np.ndarray, root: int):
     """BFS as repeated OR-AND SpMV with a visited mask."""
     n = at.n
+    scratch = scratch_for(at, n, at.nnz)
     parent = np.full(n, -1, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
     parent[root] = root
@@ -52,18 +55,17 @@ def bfs_spmv(at: DCSRMatrix, out_degrees: np.ndarray, root: int):
         if not new.any():
             break
         # Parent assignment: lowest frontier in-neighbor (apply step).
+        # Every new vertex was reached through an in-edge, so its row is
+        # stored (DCSR keeps non-empty rows only) and its segment in the
+        # shared slot expansion is non-empty.
         new_ids = np.flatnonzero(new)
         rows = np.searchsorted(at.row_ids, new_ids)
-        starts = at.row_ptr[rows]
-        counts = at.row_ptr[rows + 1] - starts
-        total = int(counts.sum())
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        slots = np.repeat(starts - offsets, counts) + np.arange(total)
-        nbrs = at.col_idx[slots]
+        gs = gather_slots(at.row_ptr, rows, scratch)
+        nbrs = at.col_idx[gs.slots]
         # Non-frontier neighbors get an n sentinel; every new vertex has
         # at least one frontier in-neighbor, so the minimum is valid.
         vals = np.where(frontier[nbrs], nbrs, n)
-        parent[new_ids] = np.minimum.reduceat(vals, offsets)
+        parent[new_ids] = np.minimum.reduceat(vals, gs.offsets)
         level[new_ids] = depth
         visited |= new
         frontier = new

@@ -25,6 +25,8 @@ from typing import Callable
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.frontier import dedup_ids, gather_slots
+from repro.graph.scratch import scratch_for
 from repro.machine.threads import WorkProfile
 from repro.systems.powergraph.partition import VertexCut
 
@@ -76,31 +78,39 @@ class GasEngine:
         self.out = out
         self.cut = cut
 
+    def _scratch(self):
+        """Kernel scratch keyed on the engine (which owns both CSRs)."""
+        return scratch_for(self, self.inn.n_vertices,
+                           max(self.inn.n_edges, self.out.n_edges))
+
     # ------------------------------------------------------------------
     def _gather_phase(self, program: VertexProgram, state: GasState,
                       targets: np.ndarray) -> tuple[np.ndarray, int]:
-        """Reduce in-edge contributions for ``targets``."""
+        """Reduce in-edge contributions for ``targets``.
+
+        The slot expansion is the shared
+        :func:`~repro.graph.frontier.gather_slots`; the per-vertex
+        reduction keeps ``np.add.at`` for sums (re-associating float
+        additions would change low-order bits) and ``np.minimum.at``
+        for mins.
+        """
         inn = self.inn
-        starts = inn.row_ptr[targets]
-        counts = inn.row_ptr[targets + 1] - starts
-        total = int(counts.sum())
         gathered = np.full(targets.size, program.identity, dtype=np.float64)
-        if total == 0:
+        gs = gather_slots(inn.row_ptr, targets, self._scratch())
+        if gs.total == 0:
             return gathered, 0
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        slots = np.repeat(starts - offsets, counts) + np.arange(total)
-        srcs = inn.col_idx[slots]
-        dst_rep = np.repeat(targets, counts)
-        w = inn.weights[slots] if inn.weights is not None else None
+        srcs = inn.col_idx[gs.slots]
+        dst_rep = np.repeat(targets, gs.counts)
+        w = inn.weights[gs.slots] if inn.weights is not None else None
         contributions = program.gather(state, srcs, dst_rep, w)
-        idx = np.repeat(np.arange(targets.size), counts)
+        idx = np.repeat(np.arange(targets.size), gs.counts)
         if program.reduce == "sum":
             np.add.at(gathered, idx, contributions)
         elif program.reduce == "min":
             np.minimum.at(gathered, idx, contributions)
         else:  # pragma: no cover - guarded by VertexProgram authors
             raise ValueError(f"unknown reduce {program.reduce!r}")
-        return gathered, total
+        return gathered, gs.total
 
     def run(self, program: VertexProgram, initial: np.ndarray,
             initially_active: np.ndarray, max_supersteps: int = 10_000,
@@ -168,14 +178,11 @@ class GasEngine:
         """Out-neighborhood of the active set (who got signals)."""
         frontier = np.flatnonzero(active)
         out = self.out
-        starts = out.row_ptr[frontier]
-        counts = out.row_ptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        scratch = self._scratch()
+        gs = gather_slots(out.row_ptr, frontier, scratch)
+        if gs.total == 0:
             return np.empty(0, dtype=np.int64)
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        slots = np.repeat(starts - offsets, counts) + np.arange(total)
-        return np.unique(out.col_idx[slots])
+        return dedup_ids(out.col_idx[gs.slots], out.n_vertices, scratch)
 
 
 class AsyncGasEngine(GasEngine):

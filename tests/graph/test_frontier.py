@@ -1,0 +1,376 @@
+"""Property-based equivalence tests for the shared frontier primitives.
+
+Every primitive in :mod:`repro.graph.frontier` carries a bit-identity
+contract against the naive NumPy idiom it replaced; these tests state
+the naive versions inline and compare outputs exactly (``array_equal``,
+never ``allclose``) under hypothesis-generated graphs covering empty
+frontiers, self-loops, duplicate edges, and single-vertex graphs.  Both
+the sort-based small path and the mask-sweep large path are exercised
+explicitly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.dcsr import DCSRMatrix
+from repro.graph.frontier import (DENSE_FRONTIER_DENSITY, Frontier,
+                                  claim_first_parent, dedup_ids,
+                                  gather_slots, segment_min_scatter)
+from repro.graph.scratch import (COUNTERS, KernelScratch, consume_counters,
+                                 scratch_for)
+
+# ----------------------------------------------------------------------
+# Naive references (the exact idioms the library replaced).
+# ----------------------------------------------------------------------
+
+
+def ref_gather(row_ptr, frontier):
+    starts = row_ptr[frontier]
+    counts = row_ptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    slots = np.repeat(starts - offsets, counts) + np.arange(total)
+    return slots, counts
+
+
+def ref_claim(nbrs, srcs, visited, parent):
+    """Fresh-filter + lexsort first-occurrence (min src per target)."""
+    fresh = ~visited[nbrs]
+    nbrs = nbrs[fresh]
+    srcs = srcs[fresh]
+    if nbrs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((srcs, nbrs))
+    nbrs_s = nbrs[order]
+    srcs_s = srcs[order]
+    first = np.ones(nbrs_s.size, dtype=bool)
+    first[1:] = nbrs_s[1:] != nbrs_s[:-1]
+    new_v = nbrs_s[first]
+    parent[new_v] = srcs_s[first]
+    visited[new_v] = True
+    return new_v
+
+
+def ref_min_scatter(dist, dsts, cand):
+    np.minimum.at(dist, dsts, cand)
+    return np.unique(dsts)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def csr_graphs(draw, max_n=50, max_m=160, weighted=False):
+    """Random CSR with self-loops and duplicate edges allowed; ``max_n``
+    small enough that the mask (large) paths trigger, see below."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = np.array(draw(st.lists(st.integers(0, n - 1),
+                                 min_size=m, max_size=m)), dtype=np.int64)
+    dst = np.array(draw(st.lists(st.integers(0, n - 1),
+                                 min_size=m, max_size=m)), dtype=np.int64)
+    w = None
+    if weighted:
+        w = np.array(draw(st.lists(st.floats(0.001, 10.0, allow_nan=False),
+                                   min_size=m, max_size=m)))
+    return CSRGraph.from_arrays(src, dst, n, weights=w)
+
+
+@st.composite
+def graph_and_frontier(draw, **kwargs):
+    csr = draw(csr_graphs(**kwargs))
+    n = csr.n_vertices
+    members = draw(st.lists(st.integers(0, n - 1), max_size=n))
+    frontier = np.unique(np.array(members, dtype=np.int64))
+    return csr, frontier
+
+
+# ----------------------------------------------------------------------
+# gather_slots
+# ----------------------------------------------------------------------
+
+
+@given(graph_and_frontier())
+@settings(max_examples=120, deadline=None)
+def test_gather_slots_matches_repeat_arange(case):
+    csr, frontier = case
+    scratch = KernelScratch(csr.n_vertices, csr.n_edges)
+    want_slots, want_counts = ref_gather(csr.row_ptr, frontier)
+    gs = gather_slots(csr.row_ptr, frontier, scratch)
+    assert np.array_equal(gs.slots, want_slots)
+    assert np.array_equal(gs.counts, want_counts)
+    assert gs.total == want_slots.size
+    want_offsets = (np.concatenate(([0], np.cumsum(want_counts)[:-1]))
+                    if want_counts.size else np.empty(0, dtype=np.int64))
+    assert np.array_equal(gs.offsets, want_offsets)
+
+
+def test_gather_slots_empty_frontier():
+    csr = CSRGraph.from_arrays(np.array([0, 1]), np.array([1, 0]), 2)
+    scratch = KernelScratch(2, 2)
+    gs = gather_slots(csr.row_ptr, np.empty(0, dtype=np.int64), scratch)
+    assert gs.total == 0
+    assert gs.slots.size == 0 and gs.counts.size == 0
+
+
+def test_gather_slots_counts_edges():
+    csr = CSRGraph.from_arrays(np.array([0, 0, 1]), np.array([1, 2, 2]), 3)
+    scratch = KernelScratch(3, 3)
+    consume_counters()
+    gather_slots(csr.row_ptr, np.array([0, 1], dtype=np.int64), scratch)
+    assert consume_counters()["gather_edges"] == 3.0
+
+
+def test_gather_slots_grows_arena():
+    """A gather larger than the initial arena must still be exact."""
+    n = 8
+    src = np.repeat(np.arange(n), n)
+    dst = np.tile(np.arange(n), n)
+    csr = CSRGraph.from_arrays(src, dst, n)
+    scratch = KernelScratch(n, 1)  # deliberately undersized
+    frontier = np.arange(n, dtype=np.int64)
+    gs = gather_slots(csr.row_ptr, frontier, scratch)
+    want, _ = ref_gather(csr.row_ptr, frontier)
+    assert np.array_equal(gs.slots, want)
+
+
+# ----------------------------------------------------------------------
+# claim_first_parent
+# ----------------------------------------------------------------------
+
+
+def _run_claim_case(csr, frontier, visited0):
+    n = csr.n_vertices
+    scratch = KernelScratch(n, csr.n_edges)
+    slots, counts = ref_gather(csr.row_ptr, frontier)
+    nbrs = csr.col_idx[slots]
+    srcs = np.repeat(frontier, counts)
+
+    parent_ref = np.where(visited0, np.arange(n, dtype=np.int64), -1)
+    visited_ref = visited0.copy()
+    want_new = ref_claim(nbrs, srcs, visited_ref, parent_ref)
+
+    parent_new = np.where(visited0, np.arange(n, dtype=np.int64), -1)
+    visited_new = visited0.copy()
+    got_new = claim_first_parent(nbrs, srcs, visited_new, parent_new,
+                                 scratch)
+    assert np.array_equal(got_new, want_new)
+    assert np.array_equal(parent_new, parent_ref)
+    assert np.array_equal(visited_new, visited_ref)
+    # Scratch masks must come back all-False (the reuse contract).
+    assert not scratch.mask("claim").any()
+
+
+@given(graph_and_frontier(), st.data())
+@settings(max_examples=120, deadline=None)
+def test_claim_first_parent_matches_lexsort(case, data):
+    csr, frontier = case
+    n = csr.n_vertices
+    visited0 = np.array(
+        data.draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+        dtype=bool)
+    _run_claim_case(csr, frontier, visited0)
+
+
+def test_claim_small_path_large_graph():
+    """n large vs few edges forces the sort-based branch."""
+    n = 1000
+    src = np.array([0, 0, 1, 1, 2], dtype=np.int64)
+    dst = np.array([5, 7, 5, 999, 2], dtype=np.int64)  # dup target + loop
+    csr = CSRGraph.from_arrays(src, dst, n)
+    visited0 = np.zeros(n, dtype=bool)
+    visited0[[0, 1, 2]] = True
+    _run_claim_case(csr, np.array([0, 1, 2], dtype=np.int64), visited0)
+
+
+def test_claim_mask_path_dense_graph():
+    """Edge count >= n/16 forces the scatter branch."""
+    rng = np.random.default_rng(7)
+    n = 64
+    m = 512
+    src = np.sort(rng.integers(0, n, m))
+    dst = rng.integers(0, n, m)
+    csr = CSRGraph.from_arrays(src, dst, n)
+    visited0 = np.zeros(n, dtype=bool)
+    visited0[rng.integers(0, n, 8)] = True
+    frontier = np.unique(rng.integers(0, n, 20))
+    _run_claim_case(csr, frontier, visited0)
+
+
+# ----------------------------------------------------------------------
+# segment_min_scatter / dedup_ids
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(1, 60), st.data())
+@settings(max_examples=120, deadline=None)
+def test_segment_min_scatter_matches_minimum_at(n, data):
+    k = data.draw(st.integers(0, 200))
+    dsts = np.array(data.draw(st.lists(st.integers(0, n - 1),
+                                       min_size=k, max_size=k)),
+                    dtype=np.int64)
+    cand = np.array(data.draw(st.lists(
+        st.floats(0.0, 50.0, allow_nan=False), min_size=k, max_size=k)))
+    dist0 = np.array(data.draw(st.lists(
+        st.floats(0.0, 50.0, allow_nan=False), min_size=n, max_size=n)))
+
+    dist_ref = dist0.copy()
+    want = (ref_min_scatter(dist_ref, dsts, cand) if k
+            else np.empty(0, dtype=np.int64))
+
+    scratch = KernelScratch(n)
+    dist_new = dist0.copy()
+    got = segment_min_scatter(dist_new, dsts, cand, scratch)
+    assert np.array_equal(got, want)
+    assert np.array_equal(dist_new, dist_ref)  # bitwise: min is exact
+    assert not scratch.mask("dedup").any()
+
+
+@given(st.integers(1, 80), st.data())
+@settings(max_examples=120, deadline=None)
+def test_dedup_ids_is_unique(n, data):
+    k = data.draw(st.integers(0, 300))
+    ids = np.array(data.draw(st.lists(st.integers(0, n - 1),
+                                      min_size=k, max_size=k)),
+                   dtype=np.int64)
+    scratch = KernelScratch(n)
+    got = dedup_ids(ids, n, scratch)
+    assert np.array_equal(got, np.unique(ids))
+    assert not scratch.mask("dedup").any()
+
+
+def test_dedup_ids_both_paths():
+    scratch = KernelScratch(1000)
+    small = np.array([5, 3, 5, 999], dtype=np.int64)
+    assert np.array_equal(dedup_ids(small, 1000, scratch),
+                          np.unique(small))
+    big = np.arange(500, dtype=np.int64).repeat(2)
+    assert np.array_equal(dedup_ids(big, 1000, scratch), np.unique(big))
+    assert not scratch.mask("dedup").any()
+
+
+# ----------------------------------------------------------------------
+# Frontier wrapper
+# ----------------------------------------------------------------------
+
+
+def test_frontier_ids_mask_coherence():
+    scratch = KernelScratch(10)
+    f = Frontier(10, scratch, np.array([1, 4], dtype=np.int64))
+    assert f.size == 2 and bool(f)
+    mask = f.as_mask()
+    assert np.array_equal(np.flatnonzero(mask), [1, 4])
+    f.replace(np.array([7], dtype=np.int64))
+    mask = f.as_mask()
+    assert np.array_equal(np.flatnonzero(mask), [7])
+    f.release()
+    assert not scratch.mask("frontier").any()
+    assert not f
+
+
+def test_frontier_density_switch():
+    scratch = KernelScratch(64)
+    f = Frontier(64, scratch, np.array([0], dtype=np.int64))
+    assert not f.dense
+    f.replace(np.arange(0, 64, 8, dtype=np.int64))
+    assert f.density >= DENSE_FRONTIER_DENSITY
+    assert f.dense
+
+
+# ----------------------------------------------------------------------
+# Scratch registry
+# ----------------------------------------------------------------------
+
+
+def test_scratch_for_memoizes_per_object():
+    csr = CSRGraph.from_arrays(np.array([0]), np.array([1]), 2)
+    s1 = scratch_for(csr, 2, 1)
+    s2 = scratch_for(csr, 2, 1)
+    assert s1 is s2
+    other = CSRGraph.from_arrays(np.array([0]), np.array([1]), 2)
+    assert scratch_for(other, 2, 1) is not s1
+
+
+def test_scratch_reuse_counter():
+    scratch = KernelScratch(8, 8)
+    scratch.edge_i64(4)
+    consume_counters()
+    scratch.edge_i64(4)
+    assert consume_counters()["scratch_reuse"] == 1.0
+    assert COUNTERS["scratch_reuse"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# CSRGraph / DCSRMatrix derived-structure regressions
+# ----------------------------------------------------------------------
+
+
+def test_source_ids_memoized_and_readonly():
+    csr = CSRGraph.from_arrays(np.array([0, 0, 1]), np.array([1, 2, 0]), 3)
+    s1 = csr.source_ids()
+    assert s1 is csr.source_ids()
+    assert not s1.flags.writeable
+    with pytest.raises(ValueError):
+        s1[0] = 9
+
+
+def test_transposed_memoized():
+    csr = CSRGraph.from_arrays(np.array([0, 2]), np.array([1, 0]), 3)
+    t1 = csr.transposed()
+    assert t1 is csr.transposed()
+    assert np.array_equal(*map(np.sort, (t1.col_idx, np.array([0, 2]))))
+
+
+def test_memo_caches_dropped_from_pickle():
+    csr = CSRGraph.from_arrays(np.array([0, 1]), np.array([1, 2]), 3)
+    csr.source_ids()
+    csr.transposed()
+    clone = pickle.loads(pickle.dumps(csr))
+    assert "_source_ids" not in clone.__dict__
+    assert "_transposed" not in clone.__dict__
+    assert np.array_equal(clone.source_ids(), csr.source_ids())
+
+
+def test_dcsr_row_sources_memoized():
+    csr = CSRGraph.from_arrays(np.array([0, 0, 2]), np.array([1, 2, 0]), 3)
+    d = DCSRMatrix.from_csr(csr)
+    r1 = d.row_sources()
+    assert r1 is d.row_sources()
+    assert not r1.flags.writeable
+    clone = pickle.loads(pickle.dumps(d))
+    assert "_row_sources" not in clone.__dict__
+    assert np.array_equal(clone.row_sources(), r1)
+
+
+def test_to_scipy_no_unconditional_int32_cast():
+    """Regression for the silent ``astype(int32)`` wrap: the export must
+    hand scipy the int64 arrays and let it pick a safe index dtype, and
+    the exported matrix must not alias the graph's arrays."""
+    import inspect
+
+    import scipy.sparse as sp
+
+    assert "astype" not in inspect.getsource(CSRGraph.to_scipy)
+
+    csr = CSRGraph.from_arrays(np.array([0, 1, 1]), np.array([1, 0, 2]), 3,
+                               weights=np.array([0.5, 1.5, 2.5]))
+    mat = csr.to_scipy()
+    assert isinstance(mat, sp.csr_matrix)
+    dense = mat.toarray()
+    want = np.zeros((3, 3))
+    want[0, 1], want[1, 0], want[1, 2] = 0.5, 1.5, 2.5
+    assert np.array_equal(dense, want)
+    # Mutating the export must not corrupt the graph.
+    mat.data[:] = 0.0
+    mat.indices[:] = 0
+    assert np.array_equal(csr.col_idx, [1, 0, 2])
+    assert np.array_equal(csr.weights, [0.5, 1.5, 2.5])
