@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cache.bundle import read_arrays, write_arrays
-from repro.errors import CacheError
+from repro.errors import CacheError, ConfigError
 from repro.logging_util import get_logger
 
 __all__ = ["ArtifactCache", "CacheEntry", "parse_size"]
@@ -43,24 +44,38 @@ _LRU = ".lru"
 
 _SIZE_SUFFIXES = {"K": 2**10, "M": 2**20, "G": 2**30, "T": 2**40}
 
+#: ``1.5G``, ``512k``, ``2GiB``, ``500 MB``, plain ``4096``.  The
+#: number part is a plain decimal (no exponents, no ``inf``/``nan`` --
+#: ``float()`` alone would take those); the suffix is a binary unit in
+#: either case, with optional ``B``/``iB`` spellings.
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*"
+    r"(?:(?P<unit>[KkMmGgTt])(?:i?[Bb])?|[Bb])?\s*$")
+
 
 def parse_size(text: str | int) -> int:
-    """Parse ``"500M"``-style sizes (binary suffixes K/M/G/T) to bytes."""
+    """Parse ``"500M"``-style byte sizes to an int.
+
+    Binary suffixes ``K``/``M``/``G``/``T`` in either case, optionally
+    spelled ``KB``/``KiB`` etc., with fractional values allowed
+    (``"1.5G"``, ``"512k"``).  Garbage raises a
+    :class:`~repro.errors.ConfigError` naming the offending spec.
+    """
+    if isinstance(text, bool):
+        raise ConfigError(f"bad size spec {text!r} (want e.g. "
+                          "'500M', '1.5G', or plain bytes)")
     if isinstance(text, int):
         value = text
     else:
-        s = str(text).strip().upper()
-        if s and s[-1] in _SIZE_SUFFIXES:
-            mult, s = _SIZE_SUFFIXES[s[-1]], s[:-1]
-        else:
-            mult = 1
-        try:
-            value = int(float(s) * mult)
-        except ValueError:
-            raise CacheError(f"bad size spec {text!r} (want e.g. "
-                             "'500M', '2G', or plain bytes)") from None
+        m = _SIZE_RE.match(str(text))
+        if m is None:
+            raise ConfigError(f"bad size spec {text!r} (want e.g. "
+                              "'500M', '1.5G', '512k', or plain bytes)")
+        unit = m.group("unit")
+        mult = _SIZE_SUFFIXES[unit.upper()] if unit else 1
+        value = int(float(m.group("num")) * mult)
     if value < 1:
-        raise CacheError(f"cache size must be >= 1 byte, got {text!r}")
+        raise ConfigError(f"size must be >= 1 byte, got {text!r}")
     return value
 
 

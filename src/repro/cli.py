@@ -33,13 +33,22 @@ from repro.errors import (
     LogParseError,
     PowerMeasurementError,
     ReproError,
+    ServiceError,
     SystemCapabilityError,
     TraceError,
     ValidationError,
 )
 from repro.systems.registry import ALL_SYSTEM_NAMES, available_systems
 
-__all__ = ["main", "build_parser", "EXIT_CODES"]
+__all__ = ["main", "build_parser", "EXIT_CODES", "EXIT_INTERRUPTED"]
+
+#: Exit code for an interrupted run (SIGINT *or* SIGTERM): the shell
+#: convention 128+SIGINT, documented as "resume with ``epg resume``".
+EXIT_INTERRUPTED = 130
+
+#: Commands whose interruption leaves a resumable checkpoint behind.
+_RESUMABLE_COMMANDS = frozenset({"reproduce", "resume", "run", "all",
+                                 "graphalytics"})
 
 _FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9")
 
@@ -58,6 +67,7 @@ EXIT_CODES: dict[type, int] = {
     GraphFormatError: 11,
     TraceError: 12,
     CacheError: 13,
+    ServiceError: 14,
 }
 
 
@@ -67,7 +77,7 @@ def _size(text: str) -> int:
 
     try:
         return parse_size(text)
-    except CacheError as exc:
+    except (ConfigError, CacheError) as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
@@ -237,6 +247,72 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="SIZE",
                     help="byte budget for gc, e.g. 500M or 2G")
 
+    sp = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant query daemon (see docs/service.md)")
+    sp.add_argument("--data-dir", type=Path, required=True,
+                    help="daemon state root (graphs/ + served.json)")
+    sp.add_argument("--graphs", nargs="+", default=[],
+                    metavar="SPEC",
+                    help="graphs to serve, e.g. kron:10 cit-patents "
+                         "(omit to recover the roster from served.json)")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8750)
+    sp.add_argument("--workers", type=int, default=2,
+                    help="kernel worker threads")
+    sp.add_argument("--max-queue", type=int, default=16,
+                    help="admission queue bound; excess queries get 503")
+    sp.add_argument("--max-inflight", type=int, default=4,
+                    help="queries executing concurrently")
+    sp.add_argument("--request-timeout", type=float, default=10.0,
+                    help="per-request deadline in seconds")
+    sp.add_argument("--wedge-timeout", type=float, default=None,
+                    help="seconds before the watchdog quarantines a "
+                         "wedged worker (default: request timeout / 2)")
+    sp.add_argument("--breaker-failures", type=int, default=3,
+                    help="consecutive failures that open a circuit")
+    sp.add_argument("--batch-window", type=float, default=0.01,
+                    help="linger seconds for same-graph coalescing")
+    sp.add_argument("--max-batch", type=int, default=32)
+    sp.add_argument("--max-resident-bytes", type=_size, default=None,
+                    metavar="SIZE",
+                    help="resident-graph LRU budget, e.g. 1.5G or 512k")
+    sp.add_argument("--max-rps-per-client", type=float, default=None,
+                    help="per-client token-bucket rate (429 over it)")
+    sp.add_argument("--fault-spec", default=None,
+                    help="server-side chaos injection, e.g. "
+                         "'gap/bfs/t32:crash:5' (testing)")
+    sp.add_argument("--seed", type=int, default=20170402)
+    sp.add_argument("--cache-dir", type=Path, default=None,
+                    help="artifact cache shared with batch runs")
+    sp.add_argument("--trace", action="store_true",
+                    help="record request spans + metrics under "
+                         "<data-dir>/trace/")
+    sp.add_argument("--drain-grace", type=float, default=15.0,
+                    help="seconds SIGTERM waits for in-flight queries")
+
+    sp = sub.add_parser(
+        "loadgen",
+        help="drive a running daemon with seeded traffic and report")
+    sp.add_argument("--url", default="http://127.0.0.1:8750",
+                    help="daemon base URL")
+    sp.add_argument("--duration", type=float, default=10.0)
+    sp.add_argument("--clients", type=int, default=4)
+    sp.add_argument("--mode", choices=("closed", "open"),
+                    default="closed",
+                    help="closed: back-to-back per client; open: paced "
+                         "arrivals at --rps regardless of completions")
+    sp.add_argument("--rps", type=float, default=None,
+                    help="target arrival rate (open-loop mode)")
+    sp.add_argument("--systems", nargs="+",
+                    default=["gap", "graph500"],
+                    choices=ALL_SYSTEM_NAMES)
+    sp.add_argument("--algorithms", nargs="+", default=["bfs"])
+    sp.add_argument("--threads", type=int, default=32)
+    sp.add_argument("--seed", type=int, default=20170402)
+    sp.add_argument("--report", type=Path, default=None,
+                    help="write the JSON report here")
+
     sub.add_parser("systems", help="list installed systems")
     sub.add_parser("datasets", help="list the dataset catalog")
     return p
@@ -283,13 +359,39 @@ def _warn_if_degraded(root: Path) -> None:
               f"quarantined cell(s): {shown}", file=sys.stderr)
 
 
+def _install_termination_handler() -> None:
+    """Make SIGTERM behave like SIGINT for long-running commands.
+
+    ``kill <pid>`` (the default signal cluster schedulers and CI
+    runners send) must leave the same resumable state Ctrl-C does: the
+    handler flips the process-wide drain flag -- so in-flight
+    supervisors quarantine instead of scheduling retries -- and raises
+    :class:`KeyboardInterrupt`, which :func:`main` turns into the
+    documented checkpoint-and-exit-130 path.
+    """
+    import signal
+
+    def _on_sigterm(signum, frame):
+        from repro.resilience import request_drain
+
+        request_drain()
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch, mapping framework errors to exit codes.
 
     Every :class:`ReproError` becomes a one-line stderr message and a
     distinct non-zero exit code (see :data:`EXIT_CODES`) instead of a
     traceback; a suite that completes with quarantined cells exits 0
-    with a degraded-completion warning.
+    with a degraded-completion warning.  SIGINT and SIGTERM both exit
+    :data:`EXIT_INTERRUPTED` after the checkpoint has recorded every
+    completed cell, so the run can continue with ``epg resume``.
     """
     args = build_parser().parse_args(argv)
 
@@ -298,8 +400,18 @@ def main(argv: list[str] | None = None) -> int:
 
         enable_console_logging()
 
+    resumable = args.command in _RESUMABLE_COMMANDS
+    if resumable:
+        _install_termination_handler()
+
     try:
         return _dispatch(args)
+    except KeyboardInterrupt:
+        output = getattr(args, "output", None)
+        hint = (f"; checkpoint saved, continue with `epg resume {output}`"
+                if resumable and output is not None else "")
+        print(f"epg: interrupted{hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print(f"epg: {type(exc).__name__}: {exc}", file=sys.stderr)
         return _exit_code(exc)
@@ -468,6 +580,47 @@ def _dispatch(args) -> int:
 
     if args.command == "cache":
         return _dispatch_cache(args)
+
+    if args.command == "serve":
+        from repro.service import QueryDaemon, ServeConfig
+
+        cfg = ServeConfig(
+            data_dir=args.data_dir, graphs=tuple(args.graphs),
+            host=args.host, port=args.port, workers=args.workers,
+            max_queue=args.max_queue, max_inflight=args.max_inflight,
+            request_timeout_s=args.request_timeout,
+            wedge_timeout_s=args.wedge_timeout,
+            breaker_failures=args.breaker_failures,
+            batch_window_s=args.batch_window,
+            max_batch=args.max_batch,
+            max_resident_bytes=args.max_resident_bytes,
+            max_rps_per_client=args.max_rps_per_client,
+            fault_spec=args.fault_spec, seed=args.seed,
+            cache_dir=args.cache_dir,
+            trace_dir=(args.data_dir / "trace" if args.trace
+                       else None),
+            drain_grace_s=args.drain_grace)
+        return QueryDaemon(cfg).serve_forever()
+
+    if args.command == "loadgen":
+        from repro.service import LoadGenerator
+
+        gen = LoadGenerator(
+            args.url, duration_s=args.duration, clients=args.clients,
+            mode=args.mode, rps=args.rps, seed=args.seed,
+            systems=tuple(args.systems),
+            algorithms=tuple(args.algorithms),
+            n_threads=args.threads)
+        report = gen.run()
+        print(report.summary())
+        if args.report is not None:
+            path = LoadGenerator.write_report(report, args.report)
+            print(f"wrote {path}")
+        if report.dirty_responses:
+            raise ServiceError(
+                f"{report.dirty_responses} dirty response(s): see "
+                "status counts above")
+        return 0
 
     if args.command == "viz":
         from repro.core.analysis import Analysis

@@ -98,3 +98,13 @@ class CacheError(ReproError):
     evicting the entry and regenerating the artifact, because a cache
     must degrade to a miss, not to a failure.
     """
+
+
+class ServiceError(ReproError):
+    """The query daemon was misconfigured or failed to start (bad
+    graph spec, port in use, unreadable manifest).
+
+    Never raised per-request: request failures degrade to HTTP error
+    responses (429/503) so one bad query can never take the daemon
+    down with it.
+    """

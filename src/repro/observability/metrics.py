@@ -48,6 +48,27 @@ METRIC_HELP = {
         "Edges expanded through the shared frontier gather, per kernel.",
     "epg_kernel_scratch_reuse":
         "Kernel scratch buffers served without a fresh allocation.",
+    "epg_serve_requests_total":
+        "Daemon HTTP requests by endpoint and status code.",
+    "epg_serve_shed_total":
+        "Queries refused before execution, by reason "
+        "(queue_full, circuit_open, draining, rate_limited, timeout).",
+    "epg_serve_request_seconds": "End-to-end query latency (wall s).",
+    "epg_serve_batch_size": "Queries coalesced per kernel sweep.",
+    "epg_serve_inflight": "Queries currently admitted.",
+    "epg_serve_queue_depth": "Queries queued awaiting a worker.",
+    "epg_serve_faults_total": "Injected chaos faults applied, by kind.",
+    "epg_serve_worker_quarantines_total":
+        "Wedged workers quarantined by the watchdog.",
+    "epg_serve_graphs_resident": "Graphs currently resident in RAM.",
+    "epg_serve_resident_bytes":
+        "Bytes of graph structures currently resident.",
+    "epg_serve_recoveries_total":
+        "Graphs rematerialized from the manifest at startup.",
+    "epg_serve_circuit_open":
+        "Circuit-breaker state per (graph, system): 1 open, 0 closed.",
+    "epg_serve_circuit_transitions_total":
+        "Circuit-breaker state transitions, by new state.",
 }
 
 #: Default histogram buckets (log-ish spacing over harness durations).
@@ -77,8 +98,16 @@ def _fmt_value(v: float) -> str:
 
 
 def _escape_label(v: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote, and line feed."""
     return (v.replace("\\", "\\\\").replace('"', '\\"')
              .replace("\n", "\\n"))
+
+
+def _escape_help(v: str) -> str:
+    """Escape ``# HELP`` text: only backslash and line feed (quotes are
+    legal there, unlike in label values)."""
+    return v.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _render_labels(key: tuple, extra: tuple = ()) -> str:
@@ -202,7 +231,7 @@ class MetricsRegistry:
         for name in self.names():
             m = self._metrics[name]
             if m.help:
-                out.append(f"# HELP {name} {m.help}")
+                out.append(f"# HELP {name} {_escape_help(m.help)}")
             out.append(f"# TYPE {name} {m.kind}")
             if m.kind in ("counter", "gauge"):
                 for key in sorted(m.samples):

@@ -228,6 +228,36 @@ class Tracer:
         """Id of the innermost open span (None outside any span)."""
         return self._stack[-1].span_id if self._stack else None
 
+    def span_complete(self, name: str, category: str = "service", *,
+                      duration_s: float, **attrs) -> None:
+        """Append one already-finished root span.
+
+        The serving path closes spans from many handler threads, where
+        the nesting stack (:meth:`span`) would interleave; a completed
+        span bypasses the stack entirely.  The span occupies
+        ``[sim_now, sim_now + duration_s]`` on the simulated timeline --
+        appending keeps the log's monotonic-``t1_sim`` invariant as
+        long as callers serialize access (the service telemetry wrapper
+        holds one lock around every tracer call).
+        """
+        if self._fh is None:
+            return
+        span_id = self._next_id
+        self._next_id += 1
+        duration_s = max(float(duration_s), 0.0)
+        t1_wall = self._wall()
+        t0_sim = self.sim_now
+        self.advance_sim(duration_s)
+        self._write({
+            "type": "span", "id": span_id, "parent": None,
+            "name": name, "cat": category,
+            "t0_wall": round(max(t1_wall - duration_s, 0.0), 9),
+            "t1_wall": round(t1_wall, 9),
+            "t0_sim": t0_sim, "t1_sim": self.sim_now,
+            "attrs": attrs,
+        })
+        self._fh.flush()
+
     # ------------------------------------------------------------------
     # Cross-process capture + merge (repro.parallel)
     # ------------------------------------------------------------------

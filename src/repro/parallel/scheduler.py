@@ -99,10 +99,16 @@ class CellPool:
             time_limit_s, platform, algorithm, dataset)
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
         if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+            executor, self._executor = self._executor, None
+            try:
+                executor.shutdown(wait=wait, cancel_futures=True)
+            except KeyboardInterrupt:
+                # A second interrupt while draining: stop waiting for
+                # in-flight cells but still release the pool.
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
 
     def __enter__(self) -> "CellPool":
         return self

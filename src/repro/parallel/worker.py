@@ -46,7 +46,19 @@ def init_worker(shard_root: str | None) -> None:
     crashed worker.  The authoritative events travel back to the
     parent inside task results.
     """
+    import signal
+
     from repro.observability import Tracer
+
+    # Termination signals belong to the parent: it drains, checkpoints
+    # completed cells, and exits 130.  A worker that died to a
+    # group-delivered SIGTERM/SIGINT mid-cell would instead tear a
+    # result the commit sweep was about to persist.
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
 
     tracer = (Tracer(Path(shard_root) / f"worker-{os.getpid()}")
               if shard_root else Tracer())

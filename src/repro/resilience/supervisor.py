@@ -13,6 +13,7 @@ the paper's evaluation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -24,7 +25,29 @@ from repro.observability import Tracer
 from repro.resilience.faults import FaultInjector, InjectedCrashError
 from repro.resilience.retry import AttemptRecord, RetryPolicy
 
-__all__ = ["CellOutcome", "CellSupervisor", "cell_id"]
+__all__ = ["CellOutcome", "CellSupervisor", "cell_id",
+           "request_drain", "drain_requested", "reset_drain"]
+
+#: Process-wide drain flag: set when the process has been asked to shut
+#: down gracefully (SIGTERM, service drain).  A draining supervisor
+#: stops *retrying* -- the in-flight attempt finishes, but a failure
+#: quarantines immediately instead of burning backoff time the process
+#: no longer has.
+_DRAIN = threading.Event()
+
+
+def request_drain() -> None:
+    """Ask every supervisor in this process to stop scheduling retries."""
+    _DRAIN.set()
+
+
+def drain_requested() -> bool:
+    return _DRAIN.is_set()
+
+
+def reset_drain() -> None:
+    """Clear the process-wide drain flag (tests, daemon restart)."""
+    _DRAIN.clear()
 
 
 def cell_id(system: str, algorithm: str, n_threads: int) -> str:
@@ -62,10 +85,14 @@ class CellSupervisor:
     """Runs one cell under the retry policy, recording every attempt."""
 
     def __init__(self, runner, policy: RetryPolicy,
-                 injector: FaultInjector | None = None):
+                 injector: FaultInjector | None = None,
+                 drain: threading.Event | None = None):
         self.runner = runner
         self.policy = policy
         self.injector = injector
+        #: Drain signal consulted between attempts; defaults to the
+        #: process-wide flag (:func:`request_drain`).
+        self.drain = drain if drain is not None else _DRAIN
         self.variance = VarianceModel(runner.config.seed)
         self._log = get_logger("repro.resilience")
 
@@ -132,8 +159,14 @@ class CellSupervisor:
                     exc, status = failure
                     tracer.counter("epg_attempts_total", system=system,
                                    algorithm=algorithm, status=status)
+                    # A draining supervisor spends no more attempts on
+                    # this cell: the failure goes straight to quarantine
+                    # (recorded exactly once, below -- both exits share
+                    # the single trailing quarantine block).
+                    draining = self.drain.is_set()
                     backoff = None
-                    if attempt + 1 < self.policy.max_attempts:
+                    if attempt + 1 < self.policy.max_attempts \
+                            and not draining:
                         backoff = self._backoff_s(system, algorithm,
                                                   n_threads, attempt)
                     attempts.append(AttemptRecord(
@@ -151,7 +184,16 @@ class CellSupervisor:
                         self._log.info(
                             "retrying %s after %s (backoff %.3fs)",
                             cid, type(exc).__name__, backoff)
-                    continue
+                        continue
+                    if draining and attempt + 1 < self.policy.max_attempts:
+                        self._log.warning(
+                            "draining: %s quarantined without its %d "
+                            "remaining retr%s", cid,
+                            self.policy.max_attempts - attempt - 1,
+                            "y" if self.policy.max_attempts
+                            - attempt - 1 == 1 else "ies")
+                        cell_sp.set(drained=True)
+                    break
                 if path is None:
                     # Capability hole, not a failure: no retry, no
                     # attempt spent -- the paper's PowerGraph-has-no-BFS

@@ -1,0 +1,38 @@
+"""The serving layer: ``epg serve`` and its load generator.
+
+The paper's pipeline is batch-shaped -- run every cell, write a
+report.  This subpackage turns the same kernels into a long-lived
+query daemon with the failure discipline the batch side already has
+(retry budgets, quarantine, atomic manifests), adapted to a service:
+
+* :mod:`~repro.service.graphs` -- resident-graph manager: materialize
+  served graphs, keep loaded structures under a byte budget, recover
+  the roster from ``served.json`` after a crash;
+* :mod:`~repro.service.admission` -- bounded admission + per-client
+  token buckets (load shedding, 429/503);
+* :mod:`~repro.service.breaker` -- per-(graph, system) circuit
+  breakers with jittered cooldowns;
+* :mod:`~repro.service.workers` / :mod:`~repro.service.batching` --
+  a watchdogged worker pool executing same-graph query batches as one
+  kernel sweep (the Graph500 batched-roots idiom);
+* :mod:`~repro.service.daemon` -- the HTTP/JSON front end, lifecycle
+  (healthz / readyz / graceful SIGTERM drain);
+* :mod:`~repro.service.loadgen` -- ``epg loadgen``: closed/open-loop
+  traffic with latency, shed, and error accounting.
+"""
+
+from repro.service.admission import AdmissionController, RateLimiter
+from repro.service.batching import BatchingExecutor, Job
+from repro.service.breaker import CircuitBreaker
+from repro.service.daemon import QueryDaemon, ServeConfig
+from repro.service.graphs import GraphSpec, ResidentGraphManager
+from repro.service.loadgen import LoadGenerator, LoadReport
+from repro.service.manifest import MANIFEST_NAME, ServedManifest
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "AdmissionController", "BatchingExecutor", "CircuitBreaker",
+    "GraphSpec", "Job", "LoadGenerator", "LoadReport", "MANIFEST_NAME",
+    "QueryDaemon", "RateLimiter", "ResidentGraphManager", "ServeConfig",
+    "ServedManifest", "WorkerPool",
+]

@@ -1,0 +1,147 @@
+"""Admission control: bounded queue, in-flight budget, rate limits.
+
+Load shedding is the serving analogue of quarantine: refuse cheaply
+and early instead of degrading every admitted query.  Admission is a
+single gate at the front door -- a query is either *admitted* (it gets
+a ticket and will eventually run or time out) or *shed* with a 503 and
+a ``Retry-After``.  A per-client token bucket additionally converts
+one chatty client into that client's 429s instead of everyone's
+latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["AdmissionController", "AdmissionTicket", "RateLimiter"]
+
+
+class AdmissionTicket:
+    """Proof of admission; release exactly once."""
+
+    __slots__ = ("_ctrl", "_state")
+
+    def __init__(self, ctrl: "AdmissionController"):
+        self._ctrl = ctrl
+        self._state = "queued"
+
+    def start(self) -> None:
+        """The query left the queue and is executing."""
+        self._ctrl._transition(self, "queued", "inflight")
+
+    def release(self) -> None:
+        """The query reached a terminal state (idempotent)."""
+        self._ctrl._finish(self)
+
+
+class AdmissionController:
+    """Caps queued + executing queries; sheds the excess."""
+
+    def __init__(self, max_queue: int, max_inflight: int,
+                 telemetry=None):
+        if max_queue < 0 or max_inflight < 1:
+            raise ValueError("max_queue >= 0 and max_inflight >= 1")
+        self.max_queue = int(max_queue)
+        self.max_inflight = int(max_inflight)
+        self.telemetry = telemetry
+        self.queued = 0
+        self.inflight = 0
+        self.shed = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self.max_queue + self.max_inflight
+
+    def try_admit(self) -> AdmissionTicket | None:
+        """A ticket, or None when the query must be shed."""
+        with self._lock:
+            if self.queued + self.inflight >= self.capacity:
+                self.shed += 1
+                return None
+            self.queued += 1
+            self._publish()
+            return AdmissionTicket(self)
+
+    def _transition(self, ticket: AdmissionTicket, src: str,
+                    dst: str) -> None:
+        with self._lock:
+            if ticket._state != src:
+                return
+            ticket._state = dst
+            self.queued -= 1
+            self.inflight += 1
+            self._publish()
+
+    def _finish(self, ticket: AdmissionTicket) -> None:
+        with self._lock:
+            if ticket._state == "queued":
+                self.queued -= 1
+            elif ticket._state == "inflight":
+                self.inflight -= 1
+            else:
+                return
+            ticket._state = "done"
+            self._publish()
+
+    def _publish(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge("epg_serve_queue_depth", self.queued)
+            self.telemetry.gauge("epg_serve_inflight", self.inflight)
+
+    def idle(self) -> bool:
+        with self._lock:
+            return self.queued == 0 and self.inflight == 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"queued": self.queued, "inflight": self.inflight,
+                    "shed": self.shed, "max_queue": self.max_queue,
+                    "max_inflight": self.max_inflight}
+
+
+class RateLimiter:
+    """Per-client token buckets (burst = one second of rate).
+
+    ``max_rps is None`` disables limiting.  The client table is
+    bounded: when it overflows, the stalest bucket is dropped -- a
+    returning client then simply starts with a full bucket.
+    """
+
+    def __init__(self, max_rps: float | None, max_clients: int = 4096,
+                 clock=time.monotonic):
+        if max_rps is not None and max_rps <= 0:
+            raise ValueError("max_rps must be positive")
+        self.max_rps = max_rps
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: dict[str, list] = {}  # client -> [tokens, last]
+        self._lock = threading.Lock()
+
+    def allow(self, client: str) -> bool:
+        if self.max_rps is None:
+            return True
+        burst = max(self.max_rps, 1.0)
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    stalest = min(self._buckets,
+                                  key=lambda c: self._buckets[c][1])
+                    del self._buckets[stalest]
+                bucket = self._buckets[client] = [burst, now]
+            tokens, last = bucket
+            tokens = min(burst, tokens + (now - last) * self.max_rps)
+            if tokens < 1.0:
+                bucket[0], bucket[1] = tokens, now
+                return False
+            bucket[0], bucket[1] = tokens - 1.0, now
+            return True
+
+    def retry_after_s(self) -> float:
+        """Seconds until one token is certain to be available."""
+        if self.max_rps is None:
+            return 0.0
+        return 1.0 / self.max_rps

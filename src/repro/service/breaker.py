@@ -1,0 +1,109 @@
+"""Per-(graph, system) circuit breakers.
+
+A system that keeps failing on one graph should stop being *tried* on
+that graph for a while -- the serving analogue of the batch side's
+quarantine, except reversible: after a cooldown the breaker lets one
+probe through (half-open), and a probe success closes the circuit
+again.  Cooldowns reuse the retry policy's capped exponential schedule
+with the same seeded jitter the batch harness applies to its backoffs,
+so repeated openings back off deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.machine.variance import VarianceModel
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """closed -> open (K consecutive failures) -> half-open -> closed."""
+
+    def __init__(self, key: tuple, failure_threshold: int = 3,
+                 policy: RetryPolicy | None = None, seed: int = 0,
+                 telemetry=None, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.key = tuple(key)
+        self.failure_threshold = int(failure_threshold)
+        self.policy = policy or RetryPolicy()
+        self.variance = VarianceModel(seed)
+        self.telemetry = telemetry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self._consecutive_failures = 0
+        #: How many times the circuit has opened (cooldown tier).
+        self._open_count = 0
+        self._open_until = 0.0
+        self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    def _cooldown_s(self) -> float:
+        nominal = self.policy.nominal_backoff_s(
+            min(self._open_count, 10))
+        return self.variance.jitter(
+            nominal, ("breaker", *self.key, self._open_count))
+
+    def _set_state(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if self.telemetry is not None:
+            label = "/".join(map(str, self.key))
+            self.telemetry.gauge("epg_serve_circuit_open",
+                                 1.0 if state == "open" else 0.0,
+                                 target=label)
+            self.telemetry.counter(
+                "epg_serve_circuit_transitions_total", target=label,
+                state=state)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> tuple[bool, float]:
+        """(admit?, retry_after_s).  In half-open, exactly one caller
+        gets through as the probe."""
+        with self._lock:
+            if self.state == "closed":
+                return True, 0.0
+            now = self._clock()
+            if self.state == "open":
+                if now < self._open_until:
+                    return False, max(self._open_until - now, 0.0)
+                self._set_state("half_open")
+                self._probe_inflight = False
+            # half-open: admit a single probe at a time.
+            if self._probe_inflight:
+                return False, self.policy.base_backoff_s
+            self._probe_inflight = True
+            return True, 0.0
+
+    def on_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self.state != "closed":
+                self._set_state("closed")
+                self._open_count = 0
+
+    def on_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            failed_probe = self.state == "half_open"
+            self._probe_inflight = False
+            if failed_probe \
+                    or self._consecutive_failures >= self.failure_threshold:
+                self._open_count += 1
+                self._open_until = self._clock() + self._cooldown_s()
+                self._set_state("open")
+                self._consecutive_failures = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"state": self.state,
+                    "consecutive_failures": self._consecutive_failures,
+                    "times_opened": self._open_count}

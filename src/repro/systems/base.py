@@ -288,3 +288,28 @@ class GraphSystem(ABC):
             system=self.name, algorithm=algorithm, time_s=sim.time_s,
             sim=sim, profile=profile, output=output, root=root,
             iterations=iterations, counters=counters)
+
+    def run_many(self, loaded: LoadedGraph, algorithm: str,
+                 roots: tuple[int, ...] = (),
+                 **params: Any) -> list[KernelResult]:
+        """Execute one kernel sweep over several roots (the Graph500's
+        batched-roots idiom, and the serving layer's coalescing unit).
+
+        Rooted kernels run once per *distinct* root -- duplicate roots
+        in the batch share a single execution, so N identical queries
+        cost one sweep.  Rootless kernels (pagerank, wcc, ...) execute
+        once regardless of batch size.  Results come back in request
+        order, shared entries aliased.
+        """
+        self.require(algorithm)
+        if algorithm not in ("bfs", "sssp"):
+            shared = self.run(loaded, algorithm, **params)
+            return [shared] * max(len(roots), 1)
+        if not roots:
+            raise SystemCapabilityError(f"{algorithm} requires roots")
+        by_root: dict[int, KernelResult] = {}
+        for root in roots:
+            if int(root) not in by_root:
+                by_root[int(root)] = self.run(loaded, algorithm,
+                                              root=int(root), **params)
+        return [by_root[int(root)] for root in roots]

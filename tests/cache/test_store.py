@@ -5,7 +5,7 @@ import pytest
 
 from repro.cache import ArtifactCache, parse_size
 from repro.cache.bundle import read_arrays, write_arrays
-from repro.errors import CacheError
+from repro.errors import CacheError, ConfigError
 
 KEY_A = "aa" + "0" * 30
 KEY_B = "bb" + "0" * 30
@@ -21,14 +21,23 @@ class TestParseSize:
     @pytest.mark.parametrize("text,want", [
         ("512", 512), ("1K", 1024), ("500M", 500 * 2**20),
         ("2G", 2 * 2**30), ("1T", 2**40), ("1.5K", 1536), (64, 64),
+        # Lowercase suffixes, fractional values, unit spellings.
+        ("512k", 512 * 2**10), ("1.5G", int(1.5 * 2**30)),
+        ("1.5g", int(1.5 * 2**30)), ("2m", 2 * 2**20),
+        ("500MB", 500 * 2**20), ("2GiB", 2 * 2**30),
+        ("512 kb", 512 * 2**10), ("4096B", 4096), (" 1K ", 1024),
     ])
     def test_accepts(self, text, want):
         assert parse_size(text) == want
 
-    @pytest.mark.parametrize("text", ["", "lots", "12Q", "-1", "0", 0])
-    def test_rejects(self, text):
-        with pytest.raises(CacheError):
+    @pytest.mark.parametrize("text", [
+        "", "lots", "12Q", "-1", "0", 0, "1e3", "inf", "nan", "-1.5G",
+        "1.G", ".5G", "1.5GG", "K", "0.0000001K", True,
+    ])
+    def test_rejects_with_config_error(self, text):
+        with pytest.raises(ConfigError) as exc:
             parse_size(text)
+        assert "size" in str(exc.value)
 
 
 class TestBundle:

@@ -109,6 +109,24 @@ class TestMetrics:
         reg.counter("c").inc(reason='say "hi"\nthere')
         assert '\\"hi\\"\\nthere' in reg.to_prometheus()
 
+    def test_prometheus_escapes_backslash_and_help(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help_="line one\nline two \\ done").inc(
+            path="C:\\tmp\nx")
+        text = reg.to_prometheus()
+        assert "# HELP c line one\\nline two \\\\ done" in text
+        assert 'path="C:\\\\tmp\\nx"' in text
+        # Every exposition line is a single physical line.
+        assert all("\r" not in line for line in text.splitlines())
+
+    def test_hostile_labels_survive_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,)).observe(
+            0.5, err='Validation: bad "dist"\n(line 2)')
+        text = reg.to_prometheus()
+        assert 'err="Validation: bad \\"dist\\"\\n(line 2)"' in text
+        assert text.count("\n") == len(text.splitlines())
+
     def test_json_snapshot_round_trips(self):
         reg = MetricsRegistry()
         reg.counter("c").inc(3, k="v")
@@ -265,6 +283,25 @@ class TestExport:
         t.close()
         replayed = derive_metrics(read_events(tmp_path)).to_prometheus()
         assert replayed == live
+
+    def test_hostile_label_values_round_trip_through_event_log(
+            self, tmp_path):
+        """Label values carrying quotes, newlines, and backslashes (the
+        ``epg_serve_*`` request labels can) survive the events.jsonl
+        round trip and come out escaped per the exposition format."""
+        hostile = 'bad "quote"\nnew\\line'
+        t = Tracer(tmp_path)
+        t.counter("epg_serve_requests_total", endpoint="/query",
+                  error=hostile)
+        t.observe("epg_serve_request_seconds", 0.01, graph=hostile)
+        live = t.metrics.to_prometheus()
+        t.close()
+        replayed = derive_metrics(read_events(tmp_path)).to_prometheus()
+        assert replayed == live
+        assert 'bad \\"quote\\"\\nnew\\\\line' in replayed
+        # No label value may tear an exposition line in two.
+        for line in replayed.splitlines():
+            assert line.startswith(("#", "epg_serve_"))
 
 
 # ----------------------------------------------------------------------

@@ -191,6 +191,47 @@ def test_sigkill_then_cli_resume_byte_identical(tmp_path, ref_plain):
     assert (out / "REPORT.md").read_bytes() == ref_plain
 
 
+@pytest.mark.slow
+def test_sigterm_checkpoints_and_exits_resume_code(tmp_path, ref_plain):
+    """SIGTERM (what schedulers and CI send) must behave like Ctrl-C:
+    checkpoint what completed, exit 130 with a resume hint, and leave a
+    state ``epg resume`` finishes byte-identically."""
+    out = tmp_path / "suite"
+    env = dict(os.environ, PYTHONPATH="src")
+    cmd = [sys.executable, "-m", "repro.cli", "reproduce",
+           "--output", str(out), "--scale", "8", "--roots", "2",
+           "--no-svg", "--jobs", "2"]
+    proc = subprocess.Popen(cmd, cwd="/root/repo", env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True)
+    deadline = time.monotonic() + 60
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if (out / "kron" / "checkpoint.json").exists():
+                break
+            time.sleep(0.05)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    if proc.returncode == 0:
+        pytest.skip("suite finished before SIGTERM landed")
+
+    assert proc.returncode == 130, stderr
+    assert "epg resume" in stderr
+    assert not (out / "REPORT.md").exists()
+    done = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "resume", str(out),
+         "--jobs", "2"],
+        cwd="/root/repo", env=env, capture_output=True, text=True)
+    assert done.returncode == 0, done.stderr
+    assert (out / "REPORT.md").read_bytes() == ref_plain
+
+
 # ----------------------------------------------------------------------
 # Fault injection and quarantine behave identically under workers
 # ----------------------------------------------------------------------

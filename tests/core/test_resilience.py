@@ -164,6 +164,76 @@ class TestRetryAndQuarantine:
 
 
 # ----------------------------------------------------------------------
+# Drain (graceful shutdown) x retry interaction
+# ----------------------------------------------------------------------
+class TestDrainQuarantine:
+    """A cell that fails while the process is draining must quarantine
+    immediately -- and exactly once -- instead of burning retries the
+    process no longer has."""
+
+    def test_drain_mid_retry_quarantines_exactly_once(
+            self, tmp_path, monkeypatch):
+        from repro.core.report import format_failures_section
+        from repro.observability import Tracer
+        from repro.resilience import request_drain, reset_drain
+
+        cfg = _config(tmp_path, fault_spec="gap/bfs/t32:crash",
+                      max_retries=3)
+        tracer = Tracer(tmp_path / "trace")
+        exp = Experiment(cfg, tracer=tracer)
+
+        # The drain arrives *during* the first attempt, as SIGTERM would.
+        real = Runner.run_system_algorithm
+
+        def run_and_drain(self, system, algorithm, n_threads, **kw):
+            if system == "gap":
+                request_drain()
+            return real(self, system, algorithm, n_threads, **kw)
+
+        monkeypatch.setattr(Runner, "run_system_algorithm", run_and_drain)
+        try:
+            exp.run_all()
+        finally:
+            reset_drain()
+
+        (oc,) = exp.quarantined
+        assert oc.cell == "gap/bfs/t32"
+        assert oc.status == "quarantined"
+        # Only the in-flight attempt was spent; no backoff scheduled.
+        assert len(oc.attempts) == 1
+        assert oc.attempts[0].backoff_s is None
+        # Counted exactly once in metrics -- no retries, one quarantine.
+        assert tracer.metrics.get("epg_quarantines_total").total() == 1
+        assert tracer.metrics.get("epg_retries_total") is None
+        # And exactly once in the REPORT failure ledger.
+        ledger = format_failures_section(
+            {"exp": list(exp.cell_outcomes)})
+        assert ledger.count("`exp:gap/bfs/t32` **quarantined**") == 1
+        assert ledger.count("quarantined") == 1
+        # The checkpoint agrees: one quarantined cell, no double entry.
+        ck = SuiteCheckpoint.load_or_create(tmp_path, cfg)
+        assert [c for c, e in ck.cells.items()
+                if e.status == "quarantined"] == ["gap/bfs/t32"]
+
+    def test_predrained_supervisor_spends_single_attempt(self, tmp_path):
+        from repro.resilience import request_drain, reset_drain
+
+        cfg = _config(tmp_path, fault_spec="gap/bfs/t32:crash:2",
+                      max_retries=3)
+        exp = Experiment(cfg)
+        request_drain()
+        try:
+            exp.run_all()
+        finally:
+            reset_drain()
+        # Without drain this cell recovers on attempt 3
+        # (test_retry_then_succeed); draining forfeits the retries.
+        (oc,) = exp.quarantined
+        assert oc.cell == "gap/bfs/t32"
+        assert len(oc.attempts) == 1
+
+
+# ----------------------------------------------------------------------
 # Checkpoint / resume
 # ----------------------------------------------------------------------
 class TestCheckpointResume:

@@ -1,0 +1,88 @@
+"""Admission control and per-client rate limiting."""
+
+import pytest
+
+from repro.service.admission import AdmissionController, RateLimiter
+
+
+class TestAdmission:
+    def test_admits_until_capacity_then_sheds(self):
+        ctrl = AdmissionController(max_queue=2, max_inflight=1)
+        tickets = [ctrl.try_admit() for _ in range(3)]
+        assert all(t is not None for t in tickets)
+        assert ctrl.try_admit() is None
+        assert ctrl.stats()["shed"] == 1
+
+    def test_release_frees_capacity(self):
+        ctrl = AdmissionController(max_queue=0, max_inflight=1)
+        ticket = ctrl.try_admit()
+        assert ctrl.try_admit() is None
+        ticket.release()
+        assert ctrl.try_admit() is not None
+
+    def test_queue_to_inflight_transition(self):
+        ctrl = AdmissionController(max_queue=4, max_inflight=2)
+        ticket = ctrl.try_admit()
+        assert ctrl.stats()["queued"] == 1
+        ticket.start()
+        stats = ctrl.stats()
+        assert stats["queued"] == 0 and stats["inflight"] == 1
+        ticket.release()
+        assert ctrl.idle()
+
+    def test_release_is_idempotent(self):
+        ctrl = AdmissionController(max_queue=1, max_inflight=1)
+        ticket = ctrl.try_admit()
+        ticket.start()
+        ticket.release()
+        ticket.release()
+        ticket.start()  # after release: a no-op, not a resurrection
+        assert ctrl.idle()
+
+    @pytest.mark.parametrize("queue,inflight", [(-1, 1), (0, 0)])
+    def test_rejects_bad_bounds(self, queue, inflight):
+        with pytest.raises(ValueError):
+            AdmissionController(queue, inflight)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestRateLimiter:
+    def test_unlimited_when_disabled(self):
+        rl = RateLimiter(None)
+        assert all(rl.allow("c") for _ in range(1000))
+
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        rl = RateLimiter(2.0, clock=clock)
+        assert rl.allow("a")
+        assert rl.allow("a")
+        assert not rl.allow("a")       # bucket empty
+        clock.t += 0.5                  # refills one token at 2 rps
+        assert rl.allow("a")
+        assert not rl.allow("a")
+
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        rl = RateLimiter(1.0, clock=clock)
+        assert rl.allow("a")
+        assert not rl.allow("a")
+        assert rl.allow("b")
+
+    def test_client_table_is_bounded(self):
+        clock = FakeClock()
+        rl = RateLimiter(1.0, max_clients=2, clock=clock)
+        for i in range(10):
+            clock.t += 0.001
+            rl.allow(f"client-{i}")
+        assert len(rl._buckets) <= 2
+
+    def test_retry_after_hint(self):
+        assert RateLimiter(4.0).retry_after_s() == pytest.approx(0.25)
+        assert RateLimiter(None).retry_after_s() == 0.0

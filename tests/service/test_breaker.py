@@ -1,0 +1,86 @@
+"""Circuit breaker state machine under a fake clock."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+from repro.service.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_breaker(clock, threshold=3, seed=7):
+    return CircuitBreaker(("kron8", "gap"), failure_threshold=threshold,
+                          policy=RetryPolicy(), seed=seed, clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self):
+        b = make_breaker(FakeClock())
+        assert b.allow() == (True, 0.0)
+        assert b.snapshot()["state"] == "closed"
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = make_breaker(FakeClock(), threshold=3)
+        for _ in range(2):
+            b.on_failure()
+        assert b.snapshot()["state"] == "closed"
+        b.on_failure()
+        assert b.snapshot()["state"] == "open"
+        ok, retry_after = b.allow()
+        assert not ok and retry_after > 0
+
+    def test_success_resets_failure_streak(self):
+        b = make_breaker(FakeClock(), threshold=2)
+        b.on_failure()
+        b.on_success()
+        b.on_failure()
+        assert b.snapshot()["state"] == "closed"
+
+    def test_half_open_single_probe_then_close(self):
+        clock = FakeClock()
+        b = make_breaker(clock, threshold=1)
+        b.on_failure()
+        _, retry_after = b.allow()
+        clock.advance(retry_after + 0.001)
+        ok, _ = b.allow()
+        assert ok                       # the probe
+        assert b.snapshot()["state"] == "half_open"
+        ok2, _ = b.allow()
+        assert not ok2                  # probe already in flight
+        b.on_success()
+        assert b.snapshot()["state"] == "closed"
+        assert b.snapshot()["times_opened"] == 0
+
+    def test_failed_probe_reopens_with_longer_cooldown(self):
+        clock = FakeClock()
+        b = make_breaker(clock, threshold=1)
+        b.on_failure()
+        _, first_cooldown = b.allow()
+        clock.advance(first_cooldown + 0.001)
+        assert b.allow()[0]
+        b.on_failure()                  # probe fails
+        snap = b.snapshot()
+        assert snap["state"] == "open"
+        assert snap["times_opened"] == 2
+        _, second_cooldown = b.allow()
+        assert second_cooldown > first_cooldown
+
+    def test_cooldown_is_deterministic_for_seed(self):
+        a = make_breaker(FakeClock(), threshold=1, seed=13)
+        b = make_breaker(FakeClock(), threshold=1, seed=13)
+        a.on_failure()
+        b.on_failure()
+        assert a.allow()[1] == b.allow()[1]
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), threshold=0)

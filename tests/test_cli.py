@@ -137,6 +137,21 @@ def test_reproduce_command(tmp_path, capsys):
     assert (tmp_path / "REPORT.md").exists()
 
 
+def test_interrupt_exits_130_with_resume_hint(tmp_path, capsys,
+                                              monkeypatch):
+    import repro.core.suite as suite_mod
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(suite_mod, "run_paper_suite", interrupted)
+    assert main(["reproduce", "--output", str(tmp_path),
+                 "--no-svg"]) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert f"epg resume {tmp_path}" in err
+
+
 # ----------------------------------------------------------------------
 # Trace inspection on an untraced run dir: exit code 12, one line
 # ----------------------------------------------------------------------
