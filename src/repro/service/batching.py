@@ -250,6 +250,11 @@ class BatchingExecutor:
                          if rooted else ())
                 results = system.run_many(loaded, first.algorithm,
                                           roots)
+                if not rooted:
+                    # run_many executes a rootless kernel once and
+                    # returns a single entry; alias it to every
+                    # co-batched job so none is left hanging.
+                    results = list(results) * len(runnable)
                 for job, result in zip(runnable, results):
                     self._finish(job, result, loaded.n_vertices)
         except ReproError as exc:

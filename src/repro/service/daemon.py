@@ -44,6 +44,11 @@ from repro.systems.base import ALGORITHMS
 
 __all__ = ["QueryDaemon", "ServeConfig"]
 
+#: The fixed GET surface; anything else is labelled ``other`` in
+#: metrics so arbitrary 404 paths cannot inflate label cardinality.
+_GET_ENDPOINTS = frozenset(
+    {"/healthz", "/readyz", "/graphs", "/stats", "/metrics"})
+
 
 @dataclass
 class ServeConfig:
@@ -115,6 +120,8 @@ class QueryDaemon:
         self.ready = False
         self.draining = False
         self.recovered = 0
+        self._drained = False
+        self._drain_lock = threading.Lock()
         self._shutdown = threading.Event()
         self._server: ThreadingHTTPServer | None = None
         self._log = get_logger("repro.service")
@@ -141,9 +148,12 @@ class QueryDaemon:
 
     def drain(self) -> None:
         """Graceful shutdown: refuse new work, finish what's admitted,
-        persist the manifest."""
-        if self.draining:
-            return
+        persist the manifest.  One-shot: ``draining`` may already be
+        set by the caller to slam the admission door early."""
+        with self._drain_lock:
+            if self._drained:
+                return
+            self._drained = True
         self.draining = True
         self._log.info("draining: waiting for in-flight queries")
         self.batcher.stop()
@@ -209,7 +219,7 @@ class QueryDaemon:
                                endpoint="query", status=str(status))
         self.telemetry.observe("epg_serve_request_seconds", duration,
                                status=str(status))
-        if status != 200:
+        if status in (429, 503):
             self.telemetry.counter("epg_serve_shed_total",
                                    reason=body.get("error", "other"))
         fields = payload if isinstance(payload, dict) else {}
@@ -417,11 +427,14 @@ def _make_handler(daemon: QueryDaemon):
 
         def do_GET(self):
             try:
-                status, ctype, body = daemon.handle_get(
-                    self.path.split("?", 1)[0])
+                path = self.path.split("?", 1)[0]
+                status, ctype, body = daemon.handle_get(path)
+                # Unknown paths share one label value: clients must
+                # not be able to grow the metrics registry unboundedly.
+                endpoint = path if path in _GET_ENDPOINTS else "other"
                 daemon.telemetry.counter(
                     "epg_serve_requests_total",
-                    endpoint=self.path.split("?", 1)[0],
+                    endpoint=endpoint,
                     status=str(status))
                 self._respond(status, ctype, body)
             except BrokenPipeError:

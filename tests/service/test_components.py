@@ -181,6 +181,23 @@ class TestBatching:
         summaries = [j.promise.wait(0)[1] for j in jobs]
         assert [s["root"] for s in summaries] == [3, 1, 3]
 
+    def test_rootless_batch_fulfills_every_job(self):
+        # run_many executes a rootless kernel once; every co-batched
+        # job must still get the (aliased) result, not just the first.
+        mgr = _FakeManager()
+        ex = BatchingExecutor(_InlinePool(), mgr, window_s=60.0,
+                              max_batch=3)
+        jobs = [make_job(root=None, algorithm="wcc")
+                for _ in range(3)]
+        for job in jobs:
+            ex.submit(job)
+        assert mgr.calls == [()]
+        for job in jobs:
+            outcome = job.promise.wait(0)
+            assert outcome is not None
+            kind, summary = outcome
+            assert kind == "ok" and summary["components"] == 1
+
     def test_solo_job_flushes_alone(self):
         mgr = _FakeManager()
         ex = BatchingExecutor(_InlinePool(), mgr, window_s=60.0,

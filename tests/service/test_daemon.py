@@ -128,6 +128,19 @@ class TestDaemonHTTP:
                 assert "error" in body
             assert http_get(base + "/no-such-endpoint")[0] == 404
 
+    def test_metrics_labels_are_bounded(self, data_dir):
+        with running_daemon(data_dir) as (daemon, base):
+            # Arbitrary 404 paths must not mint new endpoint labels.
+            assert http_get(base + "/evil/arbitrary-path")[0] == 404
+            # Client errors (400/404) are not load shedding.
+            assert post_query(base, {"graph": "kron6"})[0] == 400
+            status, metrics = http_get(base + "/metrics")
+            assert status == 200
+            assert "/evil/arbitrary-path" not in metrics
+            assert 'endpoint="other"' in metrics
+            assert daemon.telemetry.counter_total(
+                "epg_serve_shed_total") == 0.0
+
     def test_batched_roots_share_one_response_shape(self, data_dir):
         with running_daemon(data_dir, batch_window_s=0.05) as (_, base):
             results: dict[int, tuple] = {}
@@ -180,6 +193,25 @@ class TestDaemonHTTP:
             assert status == 429 and body["error"] == "rate_limited"
             # Other clients are unaffected.
             assert post_query(base, payload, client="polite")[0] == 200
+
+    def test_shutdown_executes_drain_body(self, data_dir, tmp_path):
+        """Regression: serve_forever sets ``draining`` before calling
+        drain(); the drain body (pool stop, telemetry close, manifest
+        save) must still run exactly once, not be short-circuited."""
+        trace_dir = tmp_path / "trace"
+        with running_daemon(data_dir,
+                            trace_dir=trace_dir) as (daemon, base):
+            assert daemon.telemetry.enabled
+            assert post_query(base, {
+                "graph": "kron6", "system": "gap",
+                "algorithm": "bfs"})[0] == 200
+        assert daemon._drained
+        assert daemon.pool._stopping
+        # telemetry.close() ran: the tracer flushed its event log and
+        # disabled itself.
+        assert not daemon.telemetry.enabled
+        assert (trace_dir / "events.jsonl").exists()
+        assert (data_dir / "served.json").exists()
 
     def test_draining_daemon_sheds_and_fails_readyz(self, data_dir):
         with running_daemon(data_dir) as (daemon, base):
