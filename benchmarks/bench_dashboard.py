@@ -1,0 +1,170 @@
+"""Dashboard gate: watching a run must be (nearly) free, and free of
+side effects.
+
+The dashboard's claim is that it is safe to leave attached to
+production runs.  This gate quantifies both halves of that claim in
+the deployed shape -- ``epg dash`` is its own process, so the watched
+leg spawns the real CLI server plus a client subprocess hammering the
+span/metric/timeline routes far faster than a browser's 2s refresh
+would, while the traced smoke experiment runs in the bench process.
+The watched median must stay within 5% wall-clock of the unwatched
+one, and the watched run's results table must come out byte-identical
+to an unwatched run's, because a read-only console that perturbs its
+subject is lying about being read-only.
+"""
+
+import json
+import shutil
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+from conftest import write_artifact
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.observability import Tracer
+
+REPO = Path(__file__).resolve().parents[1]
+
+SMOKE_SCALE = 13
+SMOKE_ROOTS = 4
+ROUNDS = 3
+MAX_OVERHEAD = 0.05
+#: 4x a browser's 2s auto-refresh; the workload must be long enough
+#: (seconds) for several full page-set polls to land mid-run.
+POLL_PERIOD_S = 0.5
+
+#: The browser stand-in: stdlib-only, so it needs no PYTHONPATH.
+_CLIENT = r"""
+import sys, time, urllib.request
+base, run_id, out = sys.argv[1], sys.argv[2], sys.argv[3]
+routes = ["/api/run/%s/spans" % run_id,
+          "/api/run/%s/metrics" % run_id,
+          "/run/%s/timeline.svg" % run_id]
+polls = 0
+while True:
+    for route in routes:
+        try:
+            with urllib.request.urlopen(base + route, timeout=5) as r:
+                r.read()
+        except OSError:
+            pass
+        polls += 1
+    with open(out, "w") as fh:
+        fh.write(str(polls))
+    time.sleep(float(sys.argv[4]))
+"""
+
+
+def _run_once(out_dir):
+    cfg = ExperimentConfig(
+        output_dir=out_dir, dataset="kronecker", scale=SMOKE_SCALE,
+        n_roots=SMOKE_ROOTS, algorithms=("bfs", "sssp", "pagerank"))
+    exp = Experiment(cfg, tracer=Tracer(out_dir / "trace"))
+    t0 = time.perf_counter()
+    exp.run_all()
+    elapsed = time.perf_counter() - t0
+    exp.tracer.close()
+    return elapsed
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _wait_healthy(base: str, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(base + "/healthz",
+                                        timeout=2) as resp:
+                if json.loads(resp.read()).get("ok"):
+                    return
+        except OSError:
+            time.sleep(0.05)
+    raise AssertionError("dashboard subprocess never became healthy")
+
+
+def _run_watched(out_dir, scratch):
+    scratch.mkdir(parents=True, exist_ok=True)
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(PATH="/usr/bin:/bin",
+               PYTHONPATH=str(REPO / "src"))
+    dash = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "dash",
+         str(out_dir.parent), "--port", str(port)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    count_file = scratch / "polls.txt"
+    client = None
+    try:
+        _wait_healthy(base)
+        client = subprocess.Popen(
+            [sys.executable, "-c", _CLIENT, base, out_dir.name,
+             str(count_file), str(POLL_PERIOD_S)],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        elapsed = _run_once(out_dir)
+    finally:
+        if client is not None:
+            client.kill()
+            client.wait(10.0)
+        dash.terminate()
+        dash.wait(10.0)
+    polls = 0
+    if count_file.exists():
+        polls = int(count_file.read_text() or 0)
+    return elapsed, polls
+
+
+def test_dashboard_overhead_under_five_percent(tmp_path_factory):
+    base = tmp_path_factory.mktemp("bench-dashboard")
+    plain_times, watched_times = [], []
+    total_polls = 0
+    plain_csv = watched_csv = None
+    for i in range(ROUNDS):
+        plain_dir = base / f"plain-root{i}" / "run"
+        plain_times.append(_run_once(plain_dir))
+        plain_csv = (plain_dir / "results.csv").read_bytes()
+        shutil.rmtree(plain_dir.parent)
+
+        watched_dir = base / f"watched-root{i}" / "run"
+        watched_dir.mkdir(parents=True)
+        elapsed, polls = _run_watched(watched_dir,
+                                      base / f"scratch{i}")
+        watched_times.append(elapsed)
+        total_polls += polls
+        watched_csv = (watched_dir / "results.csv").read_bytes()
+        if i < ROUNDS - 1:
+            shutil.rmtree(watched_dir.parent)
+
+    assert watched_csv == plain_csv, (
+        "attaching a dashboard changed the results table -- the "
+        "read-only contract is broken")
+
+    plain = min(plain_times)
+    watched = min(watched_times)
+    overhead = watched / plain - 1.0
+
+    write_artifact(
+        "dashboard_gate.txt",
+        f"scale: {SMOKE_SCALE}, roots: {SMOKE_ROOTS}, "
+        f"rounds: {ROUNDS}, poll period: {POLL_PERIOD_S}s\n"
+        f"unwatched best: {plain:.3f}s  (all: "
+        + ", ".join(f"{t:.3f}" for t in plain_times) + ")\n"
+        f"watched best:   {watched:.3f}s  (all: "
+        + ", ".join(f"{t:.3f}" for t in watched_times) + ")\n"
+        f"dashboard polls answered: {total_polls}\n"
+        f"overhead: {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})")
+    print(f"\ndashboard overhead: {overhead:+.2%} over {plain:.3f}s "
+          f"({total_polls} polls)")
+    assert total_polls > 0, "the poller never exercised the dashboard"
+    assert overhead < MAX_OVERHEAD, (
+        f"dashboard overhead {overhead:+.2%} exceeds "
+        f"{MAX_OVERHEAD:.0%} budget ({plain:.3f}s -> {watched:.3f}s)")

@@ -28,6 +28,7 @@ from repro.errors import (
     CellTimeoutError,
     CheckpointError,
     ConfigError,
+    DashboardError,
     DatasetError,
     GraphFormatError,
     LogParseError,
@@ -68,6 +69,7 @@ EXIT_CODES: dict[type, int] = {
     TraceError: 12,
     CacheError: 13,
     ServiceError: 14,
+    DashboardError: 15,
 }
 
 
@@ -214,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run directory, trace directory, or events.jsonl")
     sp.add_argument("--validate", action="store_true",
                     help="check the span schema and print a summary")
+    sp.add_argument("--strict", action="store_true",
+                    help="fail on a truncated final line instead of "
+                         "tolerating it (a live or hard-killed run "
+                         "legitimately leaves one)")
     sp.add_argument("--chrome", action="store_true",
                     help="write Chrome trace-event JSON (trace.json) "
                          "next to the event log")
@@ -292,6 +298,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seconds SIGTERM waits for in-flight queries")
 
     sp = sub.add_parser(
+        "dash",
+        help="serve a live read-only dashboard over runs and daemons "
+             "(see docs/dashboard.md)")
+    sp.add_argument("root", type=Path, nargs="?", default=None,
+                    help="a run directory, a parent of run directories, "
+                         "or a serve data dir to watch")
+    sp.add_argument("--serve-url", default=None,
+                    help="base URL of a live `epg serve` daemon for "
+                         "the service page, e.g. http://127.0.0.1:8750")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8780)
+    sp.add_argument("--history", type=int, default=512,
+                    help="metric-history snapshots kept per run")
+    sp.add_argument("--max-depth", type=int, default=6,
+                    help="span nesting depth rendered in the live "
+                         "timeline SVG (0 = unlimited)")
+
+    sp = sub.add_parser(
         "loadgen",
         help="drive a running daemon with seeded traffic and report")
     sp.add_argument("--url", default="http://127.0.0.1:8750",
@@ -312,6 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=20170402)
     sp.add_argument("--report", type=Path, default=None,
                     help="write the JSON report here")
+    sp.add_argument("--dash-url", default=None,
+                    help="base URL of a running `epg dash`; the report "
+                         "gains a watch-live hint to its service page")
 
     sub.add_parser("systems", help="list installed systems")
     sub.add_parser("datasets", help="list the dataset catalog")
@@ -503,22 +530,24 @@ def _dispatch(args) -> int:
 
     if args.command == "trace":
         from repro.observability import (
-            read_events,
             render_svg,
             render_text,
             resolve_events_path,
+            tail_events,
             validate_events,
             write_chrome_trace,
         )
 
         path = resolve_events_path(args.output)
-        events = read_events(path)
+        events, truncated = tail_events(path, strict=args.strict)
         if args.validate:
-            stats = validate_events(events)
+            stats = validate_events(events, truncated_tail=truncated)
             orphaned = (f", {stats['orphans']} orphaned "
                         "(interrupted run)" if stats["orphans"] else "")
+            torn = (", truncated final line (in-flight append?)"
+                    if truncated else "")
             print(f"{path}: valid; {stats['spans']} spans / "
-                  f"{stats['events']} events{orphaned}, sim end "
+                  f"{stats['events']} events{orphaned}{torn}, sim end "
                   f"{stats['sim_end_s']:.3f}s, categories: "
                   + ", ".join(stats["categories"]))
         if args.chrome:
@@ -602,6 +631,15 @@ def _dispatch(args) -> int:
             drain_grace_s=args.drain_grace)
         return QueryDaemon(cfg).serve_forever()
 
+    if args.command == "dash":
+        from repro.dashboard import DashConfig, DashboardServer
+
+        cfg = DashConfig(root=args.root, serve_url=args.serve_url,
+                         host=args.host, port=args.port,
+                         history=args.history,
+                         max_depth=args.max_depth)
+        return DashboardServer(cfg).serve_forever()
+
     if args.command == "loadgen":
         from repro.service import LoadGenerator
 
@@ -612,7 +650,7 @@ def _dispatch(args) -> int:
             algorithms=tuple(args.algorithms),
             n_threads=args.threads)
         report = gen.run()
-        print(report.summary())
+        print(report.summary(dash_url=args.dash_url))
         if args.report is not None:
             path = LoadGenerator.write_report(report, args.report)
             print(f"wrote {path}")

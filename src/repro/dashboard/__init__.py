@@ -1,0 +1,30 @@
+"""``epg dash``: a live, read-only operational dashboard.
+
+The batch pipeline writes artifacts (``events.jsonl``, checkpoints,
+reports) and the serving layer exposes endpoints (``/stats``,
+``/metrics``); this subpackage is the console that watches both
+without touching either:
+
+* :mod:`~repro.dashboard.follower` -- offset-checkpointed tail of an
+  ``events.jsonl`` being appended to by a live run (torn tails,
+  resume-append, and file replacement all handled);
+* :mod:`~repro.dashboard.runs` -- marker-file run discovery, the only
+  URL-to-filesystem mapping the server has;
+* :mod:`~repro.dashboard.service_poll` -- versioned ``/stats`` +
+  Prometheus ``/metrics`` polling of a live ``epg serve`` daemon;
+* :mod:`~repro.dashboard.pages` / :mod:`~repro.dashboard.server` --
+  the inline-HTML pages and the ``ThreadingHTTPServer`` JSON API
+  behind them.
+"""
+
+from repro.dashboard.follower import EventFollower
+from repro.dashboard.runs import RunInfo, discover_runs, is_run_dir
+from repro.dashboard.server import DashConfig, DashboardServer
+from repro.dashboard.service_poll import (ServicePoller,
+                                          parse_prometheus_text)
+
+__all__ = [
+    "DashConfig", "DashboardServer", "EventFollower", "RunInfo",
+    "ServicePoller", "discover_runs", "is_run_dir",
+    "parse_prometheus_text",
+]

@@ -1,0 +1,306 @@
+"""Inline HTML/JS for the dashboard pages.
+
+No template engine, no bundler, no external assets: each page is one
+self-contained HTML string with a small script that polls the JSON API
+(:mod:`repro.dashboard.server`) every couple of seconds and re-renders
+its tables client-side.  Two escaping layers keep user-controlled
+strings (run ids, span names, metric labels) inert: everything
+interpolated server-side goes through :func:`html.escape` /
+``json.dumps``, and everything rendered client-side goes through the
+``esc()`` helper before touching ``innerHTML``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+__all__ = ["index_page", "run_page", "metrics_page", "service_page"]
+
+_REFRESH_MS = 2000
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif;
+       margin: 1.5rem; color: #222; }
+h1 { font-size: 1.25rem; } h2 { font-size: 1.05rem; margin-top: 1.4rem; }
+table { border-collapse: collapse; margin: .6rem 0; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem;
+         font-size: .85rem; text-align: left; }
+th { background: #f0f0f0; }
+code { background: #f5f5f5; padding: 0 .2rem; }
+.ok { color: #2e7d32; } .warn { color: #e65100; } .err { color: #c62828; }
+.muted { color: #777; font-size: .8rem; }
+nav a { margin-right: 1rem; }
+svg.spark { vertical-align: middle; }
+#banner { padding: .4rem .6rem; background: #fff3e0;
+          border: 1px solid #e65100; display: none; margin: .6rem 0; }
+"""
+
+_HELPERS = """
+function esc(s) {
+  return String(s).replace(/[&<>"']/g, function (c) {
+    return {'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;',
+            "'":'&#39;'}[c];
+  });
+}
+function fetchJSON(url) {
+  return fetch(url, {cache: 'no-store'}).then(function (r) {
+    if (!r.ok) throw new Error(url + ' -> HTTP ' + r.status);
+    return r.json();
+  });
+}
+function banner(msg) {
+  var b = document.getElementById('banner');
+  if (!b) return;
+  if (msg) { b.textContent = msg; b.style.display = 'block'; }
+  else { b.style.display = 'none'; }
+}
+function spark(values, w, h) {
+  w = w || 140; h = h || 28;
+  if (!values || values.length < 2)
+    return '<span class="muted">&mdash;</span>';
+  var lo = Math.min.apply(null, values),
+      hi = Math.max.apply(null, values);
+  var span = (hi - lo) || 1;
+  var pts = values.map(function (v, i) {
+    var x = (i / (values.length - 1)) * (w - 2) + 1;
+    var y = h - 2 - ((v - lo) / span) * (h - 4);
+    return x.toFixed(1) + ',' + y.toFixed(1);
+  }).join(' ');
+  return '<svg class="spark" width="' + w + '" height="' + h + '">' +
+         '<polyline points="' + pts + '" fill="none" ' +
+         'stroke="#4c72b0" stroke-width="1.5"/></svg>';
+}
+function every(ms, fn) { fn(); setInterval(fn, ms); }
+"""
+
+
+def _page(title: str, body: str, script: str) -> str:
+    """Shared page shell; ``title`` is escaped, ``body``/``script``
+    are trusted fragments built by this module."""
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(title)}</title>
+<style>{_STYLE}</style></head>
+<body>
+<nav><a href="/">runs</a><a href="/service">service</a>
+<span class="muted">epg dash &middot; read-only &middot;
+auto-refresh {_REFRESH_MS / 1000:g}s</span></nav>
+<div id="banner"></div>
+{body}
+<script>{_HELPERS}
+{script}</script>
+</body></html>
+"""
+
+
+# ----------------------------------------------------------------------
+def index_page() -> str:
+    body = """
+<h1>runs</h1>
+<table id="runs"><thead><tr>
+<th>run</th><th>kind</th><th>status</th><th>config digest</th>
+<th>quarantined</th><th>trace</th></tr></thead>
+<tbody></tbody></table>
+<p class="muted">Watching for run directories; new runs appear on the
+next refresh.</p>
+"""
+    script = """
+every(%(ms)d, function () {
+  fetchJSON('/api/runs').then(function (data) {
+    banner(null);
+    var rows = data.runs.map(function (r) {
+      var cls = r.status === 'complete' ? 'ok' :
+                r.status === 'serving' ? 'warn' : '';
+      var q = r.quarantined.length
+            ? '<span class="err">' + r.quarantined.length + '</span>'
+            : '0';
+      var link = r.has_trace
+            ? '<a href="/run/' + encodeURIComponent(r.run_id) +
+              '">timeline</a> <a href="/run/' +
+              encodeURIComponent(r.run_id) + '/metrics">metrics</a>'
+            : '<span class="muted">none</span>';
+      return '<tr><td>' + esc(r.run_id) + '</td><td>' + esc(r.kind) +
+             '</td><td class="' + cls + '">' + esc(r.status) +
+             '</td><td><code>' + esc(r.config_digest || '?') +
+             '</code></td><td>' + q + '</td><td>' + link +
+             '</td></tr>';
+    });
+    document.querySelector('#runs tbody').innerHTML =
+      rows.join('') || '<tr><td colspan="6" class="muted">' +
+      'no runs found under the watch root (yet)</td></tr>';
+  }).catch(function (e) { banner('index poll failed: ' + e); });
+});
+""" % {"ms": _REFRESH_MS}
+    return _page("epg dash -- runs", body, script)
+
+
+# ----------------------------------------------------------------------
+def run_page(run_id: str) -> str:
+    rid = json.dumps(run_id)
+    body = f"""
+<h1>run <code>{html.escape(run_id)}</code> &mdash; span timeline</h1>
+<p id="summary" class="muted">loading&hellip;</p>
+<h2>timeline</h2>
+<img id="timeline" alt="span timeline" style="max-width:100%"
+     src="/run/{html.escape(run_id, quote=True)}/timeline.svg">
+<h2>slowest spans (simulated)</h2>
+<table id="spans"><thead><tr>
+<th>span</th><th>category</th><th>status</th>
+<th>sim (s)</th><th>wall (s)</th></tr></thead><tbody></tbody></table>
+"""
+    script = """
+var RID = %(rid)s;
+every(%(ms)d, function () {
+  fetchJSON('/api/run/' + encodeURIComponent(RID) + '/spans')
+  .then(function (data) {
+    banner(null);
+    document.getElementById('summary').textContent =
+      data.span_count + ' spans, sim end ' +
+      data.sim_end.toFixed(6) + 's' +
+      (data.in_flight ? ' -- in flight, tailing' : ' -- complete') +
+      (data.truncated_tail ? ' (torn final line pending)' : '');
+    var img = document.getElementById('timeline');
+    img.src = '/run/' + encodeURIComponent(RID) +
+              '/timeline.svg?v=' + data.offset;
+    var rows = data.slowest.map(function (s) {
+      var cls = s.status === 'ok' ? 'ok' : 'err';
+      return '<tr><td>' + esc(s.name) + '</td><td>' + esc(s.cat) +
+             '</td><td class="' + cls + '">' + esc(s.status) +
+             '</td><td>' + s.sim_s.toFixed(6) + '</td><td>' +
+             s.wall_s.toFixed(6) + '</td></tr>';
+    });
+    document.querySelector('#spans tbody').innerHTML =
+      rows.join('') ||
+      '<tr><td colspan="5" class="muted">no spans yet</td></tr>';
+  }).catch(function (e) { banner('span poll failed: ' + e); });
+});
+""" % {"rid": rid, "ms": _REFRESH_MS}
+    return _page(f"epg dash -- {run_id}", body, script)
+
+
+# ----------------------------------------------------------------------
+def metrics_page(run_id: str) -> str:
+    rid = json.dumps(run_id)
+    body = f"""
+<h1>run <code>{html.escape(run_id)}</code> &mdash; metrics</h1>
+<p class="muted">Aggregated from the run's event log; history is
+sampled each time this page polls, so sparklines grow while the run
+is in flight.</p>
+<table id="metrics"><thead><tr>
+<th>metric</th><th>kind</th><th>value</th><th>history</th>
+</tr></thead><tbody></tbody></table>
+"""
+    script = """
+var RID = %(rid)s;
+every(%(ms)d, function () {
+  fetchJSON('/api/run/' + encodeURIComponent(RID) + '/metrics')
+  .then(function (data) {
+    banner(null);
+    var names = Object.keys(data.totals).sort();
+    var rows = names.map(function (name) {
+      var m = data.totals[name];
+      var series = data.history.map(function (snap) {
+        var v = snap.totals[name];
+        return v ? v.value : 0;
+      });
+      return '<tr><td><code>' + esc(name) + '</code></td><td>' +
+             esc(m.kind) + '</td><td>' +
+             (+m.value.toFixed(6)) + '</td><td>' + spark(series) +
+             '</td></tr>';
+    });
+    document.querySelector('#metrics tbody').innerHTML =
+      rows.join('') ||
+      '<tr><td colspan="4" class="muted">no metric events yet</td></tr>';
+  }).catch(function (e) { banner('metrics poll failed: ' + e); });
+});
+""" % {"rid": rid, "ms": _REFRESH_MS}
+    return _page(f"epg dash -- {run_id} metrics", body, script)
+
+
+# ----------------------------------------------------------------------
+def service_page() -> str:
+    body = """
+<h1>service</h1>
+<p id="target" class="muted"></p>
+<h2>daemon</h2>
+<table id="daemon"><tbody></tbody></table>
+<h2>served graphs</h2>
+<table id="roster"><thead><tr>
+<th>graph</th><th>spec</th><th>bytes</th><th>resident</th>
+</tr></thead><tbody></tbody></table>
+<h2>metrics</h2>
+<table id="svcmetrics"><thead><tr>
+<th>metric</th><th>value</th><th>history</th></tr></thead>
+<tbody></tbody></table>
+"""
+    script = """
+function kv(label, value, cls) {
+  return '<tr><th>' + esc(label) + '</th><td class="' + (cls || '') +
+         '">' + value + '</td></tr>';
+}
+every(%(ms)d, function () {
+  fetchJSON('/api/service').then(function (data) {
+    var t = document.getElementById('target');
+    if (!data.configured) {
+      t.textContent = 'no daemon configured -- relaunch with ' +
+                      '--serve-url (and optionally a serve data dir)';
+      banner(null);
+      return;
+    }
+    t.textContent = data.url ? 'watching ' + data.url
+      : 'roster from served.json only (no --serve-url)';
+    banner(data.error);
+    var drows = [];
+    if (data.stats) {
+      var s = data.stats;
+      drows.push(kv('schema', 'v' + s.schema_version, 'ok'));
+      drows.push(kv('ready', s.ready, s.ready ? 'ok' : 'err'));
+      drows.push(kv('draining', s.draining,
+                    s.draining ? 'warn' : 'ok'));
+      drows.push(kv('recovered graphs', s.recovered_graphs));
+      drows.push(kv('workers', s.workers.n + ' (' +
+                    s.workers.quarantined + ' quarantined)',
+                    s.workers.quarantined ? 'warn' : 'ok'));
+      drows.push(kv('admission', esc(JSON.stringify(s.admission))));
+      var open = Object.keys(s.breakers).filter(function (k) {
+        return s.breakers[k].state !== 'closed';
+      });
+      drows.push(kv('breakers', open.length
+        ? '<span class="warn">' + esc(open.join(', ')) + '</span>'
+        : '<span class="ok">all closed</span>'));
+      drows.push(kv('residency', esc(JSON.stringify(s.residency))));
+    } else {
+      drows.push(kv('state', '<span class="err">' +
+                    esc(data.error || 'unreachable') + '</span>'));
+    }
+    document.querySelector('#daemon tbody').innerHTML =
+      drows.join('');
+    var live = {};
+    data.graphs.forEach(function (g) { live[g.name] = g; });
+    var roster = data.roster.length ? data.roster : data.graphs;
+    document.querySelector('#roster tbody').innerHTML =
+      roster.map(function (g) {
+        var res = live[g.name]
+          ? (live[g.name].resident ? 'yes' : 'no') : '?';
+        return '<tr><td>' + esc(g.name) + '</td><td><code>' +
+               esc(g.spec || '') + '</code></td><td>' +
+               (g.bytes || 0) + '</td><td>' + esc(res) +
+               '</td></tr>';
+      }).join('') ||
+      '<tr><td colspan="4" class="muted">no roster</td></tr>';
+    var names = Object.keys(data.metrics).sort();
+    document.querySelector('#svcmetrics tbody').innerHTML =
+      names.map(function (name) {
+        var series = data.history.map(function (snap) {
+          return snap.metrics[name] || 0;
+        });
+        return '<tr><td><code>' + esc(name) + '</code></td><td>' +
+               (+data.metrics[name].toFixed(6)) + '</td><td>' +
+               spark(series) + '</td></tr>';
+      }).join('') ||
+      '<tr><td colspan="3" class="muted">no metrics</td></tr>';
+  }).catch(function (e) { banner('service poll failed: ' + e); });
+});
+""" % {"ms": _REFRESH_MS}
+    return _page("epg dash -- service", body, script)

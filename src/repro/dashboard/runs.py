@@ -1,0 +1,123 @@
+"""Run discovery: turn a directory tree into a dashboard roster.
+
+A *run directory* is whatever ``epg reproduce`` / ``epg resume`` /
+``epg serve --data-dir`` left behind -- recognised purely by marker
+artifacts (``suite.json``, ``checkpoint.json``, ``REPORT.md``,
+``results.csv``, ``trace/events.jsonl``, ``served.json``), never by
+naming convention.  The watch root may *be* a run directory, or a
+parent holding many; discovery handles both and re-scans on every
+request, so runs appearing mid-flight show up on the next refresh.
+
+Discovery is the dashboard's only mapping from URL run ids to
+filesystem paths: a request can only reach directories this module
+enumerated, so no amount of crafted ``/api/run/<id>`` input can walk
+outside the watch root.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.resilience.checkpoint import CHECKPOINT_NAME, SuiteCheckpoint
+from repro.service.manifest import MANIFEST_NAME
+
+__all__ = ["RunInfo", "discover_runs", "is_run_dir"]
+
+#: Any one of these marks a directory as a run.
+_MARKERS = ("suite.json", CHECKPOINT_NAME, "REPORT.md", "results.csv",
+            MANIFEST_NAME)
+_TRACE_REL = Path("trace") / "events.jsonl"
+
+
+@dataclass
+class RunInfo:
+    """One discovered run directory, summarised for the index page."""
+
+    run_id: str
+    directory: Path
+    kind: str = "experiment"          # suite | experiment | service
+    status: str = "in-flight"         # in-flight | complete
+    config_digest: str | None = None
+    quarantined: list = field(default_factory=list)
+    has_trace: bool = False
+
+    @property
+    def trace_path(self) -> Path:
+        return self.directory / _TRACE_REL
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "status": self.status,
+            "config_digest": self.config_digest,
+            "quarantined": list(self.quarantined),
+            "has_trace": self.has_trace,
+        }
+
+
+def is_run_dir(directory: str | Path) -> bool:
+    directory = Path(directory)
+    if not directory.is_dir():
+        return False
+    if (directory / _TRACE_REL).is_file():
+        return True
+    return any((directory / m).is_file() for m in _MARKERS)
+
+
+def _first_digest(directory: Path) -> str | None:
+    """Config digest from the nearest checkpoint manifest, if any."""
+    for path in sorted(directory.rglob(CHECKPOINT_NAME)):
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            continue
+        digest = raw.get("config_digest")
+        if isinstance(digest, str):
+            return digest
+    return None
+
+
+def _classify(directory: Path) -> RunInfo:
+    info = RunInfo(run_id=directory.name, directory=directory)
+    if (directory / MANIFEST_NAME).is_file():
+        info.kind = "service"
+    elif (directory / "suite.json").is_file():
+        info.kind = "suite"
+    info.has_trace = (directory / _TRACE_REL).is_file()
+    # A report (or, for single experiments, a results table) only
+    # lands once the run finished; until then the run is in flight.
+    if (directory / "REPORT.md").is_file() or \
+            (directory / "results.csv").is_file():
+        info.status = "complete"
+    elif info.kind == "service":
+        info.status = "serving"
+    info.config_digest = _first_digest(directory)
+    try:
+        info.quarantined = SuiteCheckpoint.scan_quarantined(directory)
+    except Exception:           # torn checkpoint mid-write: show run anyway
+        info.quarantined = []
+    return info
+
+
+def discover_runs(root: str | Path) -> dict[str, RunInfo]:
+    """``{run_id: RunInfo}`` for the watch root, freshly scanned.
+
+    If ``root`` is itself a run directory it is the sole entry (id =
+    its basename); otherwise each immediate child that looks like a
+    run is listed.  Ids are basenames -- unique within one parent by
+    construction -- and sorted for a stable index page.
+    """
+    root = Path(root)
+    if is_run_dir(root):
+        info = _classify(root)
+        return {info.run_id: info}
+    out: dict[str, RunInfo] = {}
+    if not root.is_dir():
+        return out
+    for child in sorted(root.iterdir()):
+        if child.is_dir() and is_run_dir(child):
+            out[child.name] = _classify(child)
+    return out

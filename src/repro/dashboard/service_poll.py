@@ -1,0 +1,146 @@
+"""Poll a live ``epg serve`` daemon for the dashboard's service page.
+
+The poller is deliberately paranoid about the thing it watches:
+
+* A daemon that is down, restarting, or draining yields an *error
+  panel*, never an exception -- the console must outlive the service.
+* ``/stats`` payloads are versioned
+  (:data:`repro.service.daemon.STATS_SCHEMA_VERSION`).  A missing or
+  mismatched ``schema_version`` marks the snapshot incompatible and
+  the dashboard refuses to render its fields: stale keys silently
+  interpreted as zeros are worse than an honest "cannot read this
+  daemon".
+* ``/metrics`` is parsed with a minimal Prometheus-text reader
+  (comments and histogram ``_bucket`` series skipped, values summed
+  per metric name across label sets) -- enough for sparklines without
+  a client library.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.service.daemon import STATS_SCHEMA_VERSION
+from repro.service.manifest import ServedManifest
+
+__all__ = ["ServicePoller", "parse_prometheus_text"]
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """``{metric_name: summed_value}`` from Prometheus exposition text.
+
+    Label sets are collapsed by summation and ``_bucket`` series are
+    dropped (cumulative buckets would double-count their ``_count``).
+    Unparseable lines are skipped: a scrape torn mid-response should
+    degrade, not crash the page.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            series, value = line.rsplit(None, 1)
+            name = series.split("{", 1)[0]
+            if not name or name.endswith("_bucket"):
+                continue
+            out[name] = out.get(name, 0.0) + float(value)
+        except ValueError:
+            continue
+    return out
+
+
+class ServicePoller:
+    """One daemon's dashboard view: roster, stats, metric history."""
+
+    def __init__(self, url: str, *, data_dir: str | Path | None = None,
+                 timeout_s: float = 3.0, history: int = 512):
+        self.url = url.rstrip("/")
+        self.data_dir = Path(data_dir) if data_dir else None
+        self.timeout_s = float(timeout_s)
+        self.history_limit = int(history)
+        #: ``[{"wall": t, "metrics": {...}}, ...]`` -- appended per poll.
+        self.history: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def _get(self, path: str) -> bytes:
+        with urllib.request.urlopen(self.url + path,
+                                    timeout=self.timeout_s) as resp:
+            return resp.read()
+
+    def roster(self) -> list[dict]:
+        """Served-graph roster from ``served.json``, if a data dir is
+        being watched (empty list otherwise -- the /graphs endpoint in
+        the snapshot still covers the URL-only case)."""
+        if self.data_dir is None:
+            return []
+        try:
+            manifest = ServedManifest.load(self.data_dir)
+        except Exception:
+            return []
+        return [g.to_dict() for g in
+                sorted(manifest.graphs.values(), key=lambda g: g.name)]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One self-describing poll of the daemon.
+
+        Always returns a dict with ``reachable`` / ``compatible`` /
+        ``error`` fields; ``stats``, ``graphs`` and ``metrics`` are
+        only populated when the daemon answered *and* speaks our
+        ``/stats`` schema.
+        """
+        snap: dict = {
+            "url": self.url,
+            "reachable": False,
+            "compatible": False,
+            "error": None,
+            "stats": None,
+            "graphs": [],
+            "metrics": {},
+            "roster": self.roster(),
+        }
+        try:
+            stats = json.loads(self._get("/stats").decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            snap["error"] = f"daemon unreachable: {exc}"
+            return snap
+        snap["reachable"] = True
+
+        version = stats.get("schema_version") \
+            if isinstance(stats, dict) else None
+        if version is None:
+            snap["error"] = ("daemon /stats has no schema_version "
+                             "(pre-dashboard daemon?) -- refusing to "
+                             "render its fields")
+            return snap
+        if version != STATS_SCHEMA_VERSION:
+            snap["error"] = (f"daemon speaks /stats schema {version}, "
+                             f"dashboard expects "
+                             f"{STATS_SCHEMA_VERSION} -- upgrade one "
+                             f"side")
+            return snap
+        snap["compatible"] = True
+        snap["stats"] = stats
+
+        # Best-effort extras: a drain window can close these endpoints
+        # while /stats still answers.
+        try:
+            snap["graphs"] = json.loads(
+                self._get("/graphs").decode("utf-8")).get("graphs", [])
+        except (urllib.error.URLError, OSError, ValueError):
+            pass
+        try:
+            metrics = parse_prometheus_text(
+                self._get("/metrics").decode("utf-8"))
+            snap["metrics"] = metrics
+            self.history.append({"wall": time.time(),
+                                 "metrics": metrics})
+            del self.history[:-self.history_limit]
+        except (urllib.error.URLError, OSError):
+            pass
+        return snap

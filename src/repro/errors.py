@@ -108,3 +108,14 @@ class ServiceError(ReproError):
     responses (429/503) so one bad query can never take the daemon
     down with it.
     """
+
+
+class DashboardError(ReproError):
+    """The live dashboard was misconfigured or failed to start
+    (nothing to watch, port in use).
+
+    Never raised while serving: a vanished run directory, an
+    unreachable daemon, or an incompatible ``/stats`` schema degrade
+    to error panels on the affected page, because an ops console must
+    outlive the things it watches.
+    """

@@ -7,7 +7,8 @@ package makes the breakdown a recorded artifact of every run.  See
 
 from repro.observability.export import (chrome_trace, derive_metrics,
                                         read_events, resolve_events_path,
-                                        span_events, validate_events,
+                                        span_events, tail_events,
+                                        validate_events,
                                         write_chrome_trace)
 from repro.observability.metrics import (Counter, Gauge, Histogram,
                                          METRIC_HELP, MetricsRegistry,
@@ -21,7 +22,7 @@ __all__ = [
     "Tracer", "Span", "EVENTS_NAME", "SCHEMA_VERSION",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "METRIC_HELP",
     "buckets_for",
-    "read_events", "resolve_events_path", "span_events",
+    "read_events", "tail_events", "resolve_events_path", "span_events",
     "validate_events", "chrome_trace", "write_chrome_trace",
     "derive_metrics",
     "span_tree", "render_text", "render_svg", "slowest_spans",

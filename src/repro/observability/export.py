@@ -4,9 +4,11 @@ Everything here operates on the ``events.jsonl`` a
 :class:`~repro.observability.tracer.Tracer` wrote -- no live tracer is
 needed, so a finished (or crashed) run directory is always inspectable:
 
-* :func:`read_events` / :func:`validate_events` -- load the log and
-  check it against the span schema (well-formed parent nesting,
-  monotonic simulated timestamps).
+* :func:`read_events` / :func:`tail_events` / :func:`validate_events`
+  -- load the log (tolerating, and reporting, the truncated final
+  line an in-flight append leaves) and check it against the span
+  schema (well-formed parent nesting, monotonic simulated
+  timestamps).
 * :func:`chrome_trace` / :func:`write_chrome_trace` -- the Chrome
   trace-event format (``trace.json``), loadable in Perfetto or
   chrome://tracing, on the simulated timeline.
@@ -26,9 +28,9 @@ from repro.errors import TraceError
 from repro.observability.metrics import MetricsRegistry, buckets_for
 from repro.observability.tracer import EVENTS_NAME, SCHEMA_VERSION
 
-__all__ = ["read_events", "validate_events", "span_events",
-           "chrome_trace", "write_chrome_trace", "derive_metrics",
-           "resolve_events_path"]
+__all__ = ["read_events", "tail_events", "validate_events",
+           "span_events", "chrome_trace", "write_chrome_trace",
+           "derive_metrics", "resolve_events_path"]
 
 #: Keys every span event must carry.
 _SPAN_KEYS = ("id", "parent", "name", "cat", "t0_wall", "t1_wall",
@@ -46,16 +48,23 @@ def resolve_events_path(path: str | Path) -> Path:
     raise TraceError(f"no {EVENTS_NAME} under {p}")
 
 
-def read_events(path: str | Path) -> list[dict]:
-    """Parse every event line; raise :class:`TraceError` on bad JSON.
+def tail_events(path: str | Path, *,
+                strict: bool = False) -> tuple[list[dict], bool]:
+    """Parse every event line; return ``(events, truncated_tail)``.
 
-    A torn final line with no trailing newline — the signature a
-    hard-killed writer leaves — is dropped rather than rejected, so a
-    crashed run's log stays inspectable before it is resumed.
+    A final line with no trailing newline is the *normal* state of a
+    log being appended mid-run (and the signature a hard-killed writer
+    leaves): by default it is dropped and reported through the second
+    return value, so an in-flight or crashed run's log stays
+    inspectable.  ``strict=True`` keeps the old behavior and raises
+    :class:`TraceError` on any torn tail.  Malformed JSON on a
+    *complete* line is always an error — a line that made it to its
+    newline can never become valid later.
     """
     p = resolve_events_path(path)
     lines = p.read_text(encoding="utf-8").splitlines(keepends=True)
     events: list[dict] = []
+    truncated = False
     for i, raw in enumerate(lines, start=1):
         torn = i == len(lines) and not raw.endswith("\n")
         line = raw.strip()
@@ -65,6 +74,11 @@ def read_events(path: str | Path) -> list[dict]:
             ev = json.loads(line)
         except json.JSONDecodeError as exc:
             if torn:
+                if strict:
+                    raise TraceError(
+                        f"{p}:{i}: truncated final line (in-flight "
+                        "append or hard-killed writer)") from exc
+                truncated = True
                 break
             raise TraceError(f"{p}:{i}: malformed JSON: {exc}") from exc
         if not isinstance(ev, dict) or "type" not in ev:
@@ -73,14 +87,20 @@ def read_events(path: str | Path) -> list[dict]:
         events.append(ev)
     if not events:
         raise TraceError(f"{p}: empty event log")
-    return events
+    return events, truncated
+
+
+def read_events(path: str | Path, *, strict: bool = False) -> list[dict]:
+    """:func:`tail_events` without the truncation flag."""
+    return tail_events(path, strict=strict)[0]
 
 
 def span_events(events: list[dict]) -> list[dict]:
     return [ev for ev in events if ev.get("type") == "span"]
 
 
-def validate_events(events: list[dict]) -> dict:
+def validate_events(events: list[dict], *,
+                    truncated_tail: bool = False) -> dict:
     """Check the span schema; return summary stats or raise TraceError.
 
     Validates: schema version, per-span key completeness, unique span
@@ -89,7 +109,12 @@ def validate_events(events: list[dict]) -> dict:
     simulated timeline across the event stream as written.  Spans are
     emitted at close, so a parent legally appears *after* its children
     — and a hard-killed run legally loses still-open ancestors
-    entirely; such orphaned spans are counted, not rejected.
+    entirely; such orphaned spans are counted, not rejected.  The same
+    tolerance extends to a truncated final line (the normal state of a
+    log being appended mid-run): pass the flag :func:`tail_events`
+    returned and it is *reported* in the summary, never rejected —
+    callers that want the old hard-fail behavior read with
+    ``strict=True`` instead.
     """
     spans = span_events(events)
     by_id: dict[int, dict] = {}
@@ -145,6 +170,7 @@ def validate_events(events: list[dict]) -> dict:
             last = max(last, float(t))
     return {"events": len(events), "spans": len(spans), "roots": roots,
             "orphans": orphans, "sim_end_s": last,
+            "truncated_tail": truncated_tail,
             "categories": sorted({ev["cat"] for ev in spans})}
 
 

@@ -87,8 +87,17 @@ def slowest_spans(events: list[dict], n: int = 5,
 
 
 def render_svg(events: list[dict], out_path: str | Path | None = None,
-               width: float = 960.0, row_h: float = 16.0) -> str:
-    """Gantt-style timeline: one row per span, nested by depth."""
+               width: float = 960.0, row_h: float = 16.0,
+               max_depth: int | None = None) -> str:
+    """Gantt-style timeline: one row per span, nested by depth.
+
+    Span and dataset names are user/config-controlled strings; every
+    path they take into the markup (row label, hover tooltip) goes
+    through XML escaping, so a name like ``<script>`` renders as text
+    rather than as an element.  ``max_depth`` drops rows below that
+    nesting depth (the dashboard's timeline page uses it to keep
+    in-flight renders small); ``None`` renders everything.
+    """
     # Imported here, not at module scope: repro.viz pulls in repro.core,
     # which imports repro.systems.base, which imports this package --
     # a top-level import would make the cycle unresolvable.
@@ -98,6 +107,8 @@ def render_svg(events: list[dict], out_path: str | Path | None = None,
     rows: list[tuple[dict, int]] = []
 
     def visit(ev: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
         rows.append((ev, depth))
         for child in children.get(ev["id"], ()):
             visit(child, depth + 1)
@@ -127,8 +138,14 @@ def render_svg(events: list[dict], out_path: str | Path | None = None,
         x0 = x_of(ev["t0_sim"])
         x1 = x_of(ev["t1_sim"])
         fill = _CATEGORY_FILL.get(ev["cat"], "#999999")
+        sim = ev["t1_sim"] - ev["t0_sim"]
+        wall = ev["t1_wall"] - ev["t0_wall"]
+        # Full (untruncated) label as a hover tooltip; SvgCanvas
+        # escapes it, so hostile dataset/system names stay inert text.
         canvas.rect(x0, y + 2, max(x1 - x0, 0.75), row_h - 4,
-                    fill=fill, stroke="none", opacity=0.9)
+                    fill=fill, stroke="none", opacity=0.9,
+                    title=f"{_label(ev)} [{ev['cat']}] "
+                          f"sim={sim:.6f}s wall={wall:.6f}s")
         canvas.text(margin_l - 6, y + row_h - 5,
                     ("  " * min(depth, 8)) + _label(ev)[:34],
                     size=9, anchor="end", fill="#333333")

@@ -24,7 +24,8 @@ query daemon with the failure discipline the batch side already has
 from repro.service.admission import AdmissionController, RateLimiter
 from repro.service.batching import BatchingExecutor, Job
 from repro.service.breaker import CircuitBreaker
-from repro.service.daemon import QueryDaemon, ServeConfig
+from repro.service.daemon import (QueryDaemon, ServeConfig,
+                                  STATS_SCHEMA_VERSION)
 from repro.service.graphs import GraphSpec, ResidentGraphManager
 from repro.service.loadgen import LoadGenerator, LoadReport
 from repro.service.manifest import MANIFEST_NAME, ServedManifest
@@ -34,5 +35,5 @@ __all__ = [
     "AdmissionController", "BatchingExecutor", "CircuitBreaker",
     "GraphSpec", "Job", "LoadGenerator", "LoadReport", "MANIFEST_NAME",
     "QueryDaemon", "RateLimiter", "ResidentGraphManager", "ServeConfig",
-    "ServedManifest", "WorkerPool",
+    "ServedManifest", "STATS_SCHEMA_VERSION", "WorkerPool",
 ]

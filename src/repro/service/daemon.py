@@ -42,7 +42,13 @@ from repro.service.telemetry import ServiceTelemetry
 from repro.service.workers import WorkerPool
 from repro.systems.base import ALGORITHMS
 
-__all__ = ["QueryDaemon", "ServeConfig"]
+__all__ = ["QueryDaemon", "ServeConfig", "STATS_SCHEMA_VERSION"]
+
+#: Version stamped into every ``/stats`` payload; bump on any change
+#: to the payload's shape.  External consumers (the ``epg dash``
+#: service page, scrapers) key on it to reject daemons they do not
+#: understand instead of rendering garbage.
+STATS_SCHEMA_VERSION = 1
 
 #: The fixed GET surface; anything else is labelled ``other`` in
 #: metrics so arbitrary 404 paths cannot inflate label cardinality.
@@ -350,6 +356,7 @@ class QueryDaemon:
             breakers = {"/".join(k): b.snapshot()
                         for k, b in sorted(self.breakers.items())}
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "ready": self.ready, "draining": self.draining,
             "recovered_graphs": self.recovered,
             "admission": self.admission.stats(),

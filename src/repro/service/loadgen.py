@@ -92,7 +92,9 @@ class LoadReport:
             "dirty_responses": self.dirty_responses,
         }
 
-    def summary(self) -> str:
+    def summary(self, dash_url: str | None = None) -> str:
+        """Human-readable report; ``dash_url`` (an ``epg dash`` base
+        URL) appends a hint line pointing at the live service page."""
         d = self.to_dict()
         lines = [f"requests {d['requests']} in {d['duration_s']}s "
                  f"({d['achieved_rps']} rps)"]
@@ -109,6 +111,8 @@ class LoadReport:
         lines.append(f"  latency p50={p['p50']}s p95={p['p95']}s "
                      f"p99={p['p99']}s")
         lines.append(f"  dirty responses: {d['dirty_responses']}")
+        if dash_url:
+            lines.append(f"  watch live: {dash_url.rstrip('/')}/service")
         return "\n".join(lines)
 
 

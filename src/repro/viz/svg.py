@@ -44,15 +44,21 @@ class SvgCanvas:
     # ------------------------------------------------------------------
     def rect(self, x: float, y: float, w: float, h: float,
              fill: str = "none", stroke: str = "black",
-             stroke_width: float = 1.0, opacity: float | None = None
-             ) -> "SvgCanvas":
-        self._elements.append(
+             stroke_width: float = 1.0, opacity: float | None = None,
+             title: str | None = None) -> "SvgCanvas":
+        """``title`` adds a hover tooltip (``<title>`` child); its text
+        is escaped here, so callers may pass raw span/dataset names."""
+        open_tag = (
             f"<rect x={quoteattr(self._fmt(x))} y={quoteattr(self._fmt(y))} "
             f"width={quoteattr(self._fmt(max(w, 0)))} "
             f"height={quoteattr(self._fmt(max(h, 0)))} "
             + self._attrs(fill=fill, stroke=stroke,
-                          stroke_width=stroke_width, opacity=opacity)
-            + "/>")
+                          stroke_width=stroke_width, opacity=opacity))
+        if title is None:
+            self._elements.append(open_tag + "/>")
+        else:
+            self._elements.append(
+                open_tag + f"><title>{escape(title)}</title></rect>")
         return self
 
     def line(self, x1: float, y1: float, x2: float, y2: float,

@@ -243,6 +243,37 @@ class TestExport:
         events = read_events(tmp_path)
         assert len(events) == 1 and events[0]["type"] == "meta"
 
+    def test_tail_events_reports_torn_final_line(self, tmp_path):
+        from repro.observability import tail_events
+
+        (tmp_path / EVENTS_NAME).write_text(
+            '{"type": "meta", "version": 1, "resumed": false, '
+            '"t_sim": 0.0, "wall_unix": 0.0}\n{"type": "spa',
+            encoding="utf-8")
+        events, truncated = tail_events(tmp_path / EVENTS_NAME)
+        assert truncated and len(events) == 1
+        # The summary carries the flag so `epg trace --validate` can
+        # say "in-flight append" instead of silently dropping bytes.
+        stats = validate_events(events, truncated_tail=truncated)
+        assert stats["truncated_tail"] is True
+
+    def test_tail_events_strict_rejects_torn_final_line(self, tmp_path):
+        from repro.observability import tail_events
+
+        (tmp_path / EVENTS_NAME).write_text(
+            '{"type": "meta", "version": 1, "resumed": false, '
+            '"t_sim": 0.0, "wall_unix": 0.0}\n{"type": "spa',
+            encoding="utf-8")
+        with pytest.raises(TraceError, match="truncated final line"):
+            tail_events(tmp_path / EVENTS_NAME, strict=True)
+        # A cleanly terminated log passes strict mode untouched.
+        (tmp_path / EVENTS_NAME).write_text(
+            '{"type": "meta", "version": 1, "resumed": false, '
+            '"t_sim": 0.0, "wall_unix": 0.0}\n', encoding="utf-8")
+        events, truncated = tail_events(tmp_path / EVENTS_NAME,
+                                        strict=True)
+        assert not truncated and len(events) == 1
+
     def test_resume_truncates_torn_final_line(self, tmp_path):
         t = Tracer(tmp_path)
         with t.span("work", category="cell"):

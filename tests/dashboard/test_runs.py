@@ -1,0 +1,74 @@
+"""Run discovery: marker files in, dashboard roster out."""
+
+import json
+
+from repro.dashboard import discover_runs, is_run_dir
+
+
+def _mk_run(root, name, *, suite=False, report=False, trace=False,
+            served=False, checkpoint=None):
+    d = root / name
+    d.mkdir(parents=True)
+    if suite:
+        (d / "suite.json").write_text("{}")
+    if report:
+        (d / "REPORT.md").write_text("# report\n")
+    if trace:
+        (d / "trace").mkdir()
+        (d / "trace" / "events.jsonl").write_text("")
+    if served:
+        (d / "served.json").write_text("{}")
+    if checkpoint is not None:
+        (d / "checkpoint.json").write_text(json.dumps(checkpoint))
+    return d
+
+
+def test_root_itself_a_run_dir(tmp_path):
+    d = _mk_run(tmp_path, "solo", suite=True, trace=True)
+    runs = discover_runs(d)
+    assert list(runs) == ["solo"]
+    info = runs["solo"]
+    assert info.kind == "suite"
+    assert info.status == "in-flight"
+    assert info.has_trace
+    assert info.trace_path == d / "trace" / "events.jsonl"
+
+
+def test_parent_of_many_runs(tmp_path):
+    _mk_run(tmp_path, "a", suite=True, report=True)
+    _mk_run(tmp_path, "b", trace=True)
+    _mk_run(tmp_path, "svc", served=True)
+    (tmp_path / "not-a-run").mkdir()
+    (tmp_path / "loose-file.txt").write_text("x")
+
+    runs = discover_runs(tmp_path)
+    assert sorted(runs) == ["a", "b", "svc"]
+    assert runs["a"].status == "complete"
+    assert runs["b"].kind == "experiment"
+    assert runs["svc"].kind == "service"
+    assert runs["svc"].status == "serving"
+
+
+def test_config_digest_and_quarantine_surface(tmp_path):
+    _mk_run(tmp_path, "r", suite=True, checkpoint={
+        "version": 1, "config_digest": "d1gest",
+        "cells": {"gap/bfs/t32": {"status": "quarantined",
+                                  "attempts": []}}})
+    info = discover_runs(tmp_path)["r"]
+    assert info.config_digest == "d1gest"
+    assert any("gap/bfs/t32" in q for q in info.quarantined)
+
+
+def test_torn_checkpoint_does_not_hide_the_run(tmp_path):
+    d = _mk_run(tmp_path, "torn", trace=True)
+    (d / "checkpoint.json").write_text('{"version": 1, "config_')
+    runs = discover_runs(tmp_path)
+    assert "torn" in runs
+    assert runs["torn"].config_digest is None
+
+
+def test_non_run_dirs_rejected(tmp_path):
+    (tmp_path / "plain").mkdir()
+    assert not is_run_dir(tmp_path / "plain")
+    assert not is_run_dir(tmp_path / "missing")
+    assert discover_runs(tmp_path / "missing") == {}

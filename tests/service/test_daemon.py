@@ -107,6 +107,10 @@ class TestDaemonHTTP:
             assert "epg_serve_requests_total" in metrics
             stats = json.loads(http_get(base + "/stats")[1])
             assert stats["ready"] and not stats["draining"]
+            # Versioned payload: external consumers (`epg dash`) key
+            # on this to reject daemons they cannot interpret.
+            from repro.service import STATS_SCHEMA_VERSION
+            assert stats["schema_version"] == STATS_SCHEMA_VERSION
 
     def test_malformed_requests_get_4xx_never_5xx(self, data_dir):
         with running_daemon(data_dir) as (_, base):
