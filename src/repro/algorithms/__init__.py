@@ -1,19 +1,25 @@
 """Reference graph kernels.
 
-These are the trusted, straightforward implementations of the six
+These are the trusted, straightforward implementations of the
 algorithms the study touches -- BFS, SSSP, PageRank (the paper's three
-"building blocks", Sec. III-D) plus WCC, CDLP and LCC (needed by the
-Graphalytics comparison in Tables I-II).  Every reimplemented system in
+"building blocks", Sec. III-D), WCC, CDLP and LCC (needed by the
+Graphalytics comparison in Tables I-II), plus the widened structural
+matrix: triangle counting, k-core decomposition, maximal independent
+set, and Afforest connected components.  Every reimplemented system in
 :mod:`repro.systems` is validated against these in the test suite; the
 systems themselves do *not* call into this package (each has its own
 genuinely distinct implementation, as in the paper).
 """
 
 from repro.algorithms.bfs import bfs_levels, bfs_parents
+from repro.algorithms.cc import afforest
 from repro.algorithms.cdlp import cdlp
+from repro.algorithms.kcore import core_numbers, core_numbers_naive
 from repro.algorithms.lcc import local_clustering
+from repro.algorithms.mis import maximal_independent_set, mis_priorities
 from repro.algorithms.pagerank import pagerank
 from repro.algorithms.sssp import sssp_dijkstra
+from repro.algorithms.tc import triangle_count
 from repro.algorithms.wcc import weakly_connected_components
 
 __all__ = [
@@ -24,4 +30,10 @@ __all__ = [
     "weakly_connected_components",
     "cdlp",
     "local_clustering",
+    "triangle_count",
+    "core_numbers",
+    "core_numbers_naive",
+    "maximal_independent_set",
+    "mis_priorities",
+    "afforest",
 ]

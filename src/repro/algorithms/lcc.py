@@ -38,9 +38,17 @@ def _undirected_pattern(graph: CSRGraph) -> sp.csr_matrix:
     return a.tocsr()
 
 
-def local_clustering(graph: CSRGraph, batch_rows: int = 2048) -> np.ndarray:
-    """LCC per vertex (0.0 for vertices with fewer than 2 neighbors)."""
+def local_clustering(graph: CSRGraph,
+                     batch_rows: int | None = None) -> np.ndarray:
+    """LCC per vertex (0.0 for vertices with fewer than 2 neighbors).
+
+    ``batch_rows`` (default: min(2048, n)) is the SpGEMM row-block
+    width; out-of-range values raise ``ConfigError``.
+    """
+    from repro.graph.frontier import resolve_batch_rows
+
     n = graph.n_vertices
+    batch_rows = resolve_batch_rows(batch_rows, n)
     und = _undirected_pattern(graph)
     deg = np.asarray(und.sum(axis=1)).ravel()
 

@@ -13,13 +13,20 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.csr import CSRGraph
+from repro.graph.frontier import resolve_batch_rows
 
 __all__ = ["triangle_count"]
 
 
-def triangle_count(graph: CSRGraph, batch_rows: int = 2048) -> int:
-    """Number of unique triangles (undirected, loops/duplicates ignored)."""
+def triangle_count(graph: CSRGraph, batch_rows: int | None = None) -> int:
+    """Number of unique triangles (undirected, loops/duplicates ignored).
+
+    ``batch_rows`` (default: min(2048, n)) is the SpGEMM row-block
+    width; out-of-range values raise
+    :class:`~repro.errors.ConfigError`.
+    """
     n = graph.n_vertices
+    batch_rows = resolve_batch_rows(batch_rows, n)
     src = graph.source_ids()
     dst = graph.col_idx
     keep = src != dst

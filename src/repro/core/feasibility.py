@@ -103,6 +103,9 @@ def _units_for(system: str, algorithm: str, size: WorkloadSize,
 _SWEEPS: dict[str, float] = {
     "pagerank": 100.0, "wcc": 8.0, "cdlp": 10.0,
     "bfs": 1.0, "sssp": 1.0, "bc": 1.0, "tc": 1.0, "lcc": 1.0,
+    # Structural kernels: anchors already price the whole peel /
+    # round sequence, so they project as single-sweep.
+    "kcore": 1.0, "mis": 1.0, "cc": 1.0,
 }
 
 

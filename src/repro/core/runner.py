@@ -112,6 +112,36 @@ class Runner:
                 cache["pr"] = pagerank(csr)[0]
             validate_pagerank(result.output["rank"], cache["pr"],
                               tol=5e-3)
+        elif algorithm in ("kcore", "mis", "cc"):
+            # The structural kernels are deterministic and unique
+            # (docs/algorithms.md), so the oracle contract is exact
+            # array equality, not a tolerance.
+            from repro.errors import ValidationError
+
+            if algorithm == "kcore":
+                from repro.algorithms import core_numbers
+
+                if "kcore" not in cache:
+                    cache["kcore"] = core_numbers(csr)
+                got, want = result.output["core"], cache["kcore"]
+            elif algorithm == "mis":
+                from repro.algorithms import maximal_independent_set
+
+                if "mis" not in cache:
+                    cache["mis"] = maximal_independent_set(
+                        csr).astype(np.int64)
+                got, want = result.output["in_set"], cache["mis"]
+            else:
+                from repro.algorithms.wcc import (
+                    weakly_connected_components,
+                )
+
+                if "cc" not in cache:
+                    cache["cc"] = weakly_connected_components(csr)
+                got, want = result.output["labels"], cache["cc"]
+            if not np.array_equal(got, want):
+                raise ValidationError(
+                    f"{algorithm} output disagrees with the reference")
 
     # ------------------------------------------------------------------
     def log_path(self, system: str, algorithm: str, n_threads: int) -> Path:
@@ -410,4 +440,6 @@ class Runner:
             "wcc": "compute Connected Components",
             "cdlp": "compute Label Propagation",
             "lcc": "compute Triangle Counting",
+            "kcore": "compute KCore",
+            "mis": "compute MIS",
         }[algorithm]

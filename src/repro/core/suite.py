@@ -54,7 +54,9 @@ __all__ = ["run_paper_suite", "resume_paper_suite", "SUITE_MANIFEST"]
 
 _SCALING_SYSTEMS = ("gap", "graph500", "graphbig", "graphmat")
 _THREADS = (1, 2, 4, 8, 16, 32, 64, 72)
-_SUBDIRS = ("kron", "dota", "pat", "scaling")
+_SUBDIRS = ("kron", "dota", "pat", "scaling", "structural")
+_STRUCTURAL_ALGOS = ("kcore", "mis", "cc")
+_STRUCTURAL_SYSTEMS = ("gap", "graphbig", "graphmat", "powergraph")
 
 #: Suite-level manifest: the parameters ``epg resume`` needs to
 #: continue an interrupted invocation with identical settings.
@@ -261,6 +263,31 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
         "Fig 5 (bench-scale real kernels)",
         format_series("", "threads", list(_THREADS), bench_speedups)))
 
+    # --- structural kernels (docs/algorithms.md; beyond the paper) ----
+    struct_cfg = ExperimentConfig(
+        output_dir=out_dir / "structural", dataset="kronecker",
+        scale=scale, n_roots=min(n_roots, 2), seed=seed,
+        algorithms=_STRUCTURAL_ALGOS, **resilience)
+    struct_exp = Experiment(struct_cfg, tracer=tracer)
+    with tracer.span("experiment:structural", category="experiment",
+                     dataset="kronecker", scale=scale):
+        struct = struct_exp.run_all(pool=pool)
+    struct_rows = {}
+    for algo in _STRUCTURAL_ALGOS:
+        cells = []
+        for s in _STRUCTURAL_SYSTEMS:
+            try:
+                cells.append(f"{struct.mean_time(s, algo):.5g}")
+            except ConfigError:
+                # Unsupported (or quarantined) cell: absent, the way
+                # the paper's tables leave holes.
+                cells.append("-")
+        struct_rows[algo] = cells
+    sections.append(_section(
+        "Structural kernels: k-core / MIS / CC time (s, 32 threads)",
+        format_table("", [s.upper() for s in _STRUCTURAL_SYSTEMS],
+                     struct_rows)))
+
     # --- Graphalytics comparator (Tables I-II, Fig 7) -----------------
     from repro.datasets.homogenize import load_manifest
     from repro.graphalytics import (
@@ -297,6 +324,7 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
         "dota": rw_exps["dota"].cell_outcomes,
         "pat": rw_exps["pat"].cell_outcomes,
         "scaling": scaling_exp.cell_outcomes,
+        "structural": struct_exp.cell_outcomes,
     }))
 
     # --- figures + provenance -----------------------------------------

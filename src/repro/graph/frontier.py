@@ -39,15 +39,18 @@ gathered-edge hot loop at Kronecker scale 16.
 
 from __future__ import annotations
 
+import heapq
+
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.graph.scratch import COUNTERS, KernelScratch
 
 __all__ = ["GatherSlots", "gather_slots", "claim_first_parent",
-           "segment_min_scatter", "dedup_ids", "Frontier",
-           "DENSE_FRONTIER_DENSITY"]
+           "segment_min_scatter", "dedup_ids", "Frontier", "BucketQueue",
+           "resolve_batch_rows", "DENSE_FRONTIER_DENSITY"]
 
 #: Sparse-list frontiers denser than this switch to bitmap form (the
 #: Ligra-style |F| > n/32 rule of thumb: beyond it a dense bool sweep
@@ -209,6 +212,87 @@ def dedup_ids(ids: np.ndarray, n: int,
     out = np.flatnonzero(mask)
     mask[out] = False
     return out
+
+
+class BucketQueue:
+    """Lazy monotone bucket queue: pending id lists + a min-heap of keys.
+
+    Generalized out of GAP's delta-stepping (where it replaced the
+    ``O(n)`` ``np.flatnonzero(bucket == current)`` scan per bucket) so
+    k-core peeling can share it.  The caller-owned ``key`` array stays
+    the source of truth; *decrease-key* (and increase-key) is simply a
+    fresh :meth:`push` with the new key -- entries that went stale
+    between push and pop are filtered by ``key[v] == k`` on pop.
+    Invariant: every vertex with ``key[v] == k >= 0`` has at least one
+    entry in ``pending[k]``, so a pop yields exactly the sorted-unique
+    set a full scan would have produced.
+    """
+
+    __slots__ = ("_pending", "_heap")
+
+    def __init__(self) -> None:
+        self._pending: dict[int, list[np.ndarray]] = {}
+        self._heap: list[int] = []
+
+    def push(self, vertices: np.ndarray, keys: np.ndarray) -> None:
+        """Enqueue ``vertices`` under their (per-vertex) ``keys``.
+
+        One stable sort splits the batch into per-key slices (views,
+        no copies): ``O(b log b)`` total instead of the ``O(b)``
+        boolean mask *per distinct key* a groupby-by-masking costs --
+        the difference between winning and losing to the ``O(n)``
+        re-scan baseline on skewed degree distributions.
+        """
+        if keys.size == 0:
+            return
+        order = np.argsort(keys, kind="stable")
+        sorted_vertices = vertices[order]
+        sorted_keys = keys[order]
+        uniq, starts = np.unique(sorted_keys, return_index=True)
+        bounds = np.append(starts, sorted_keys.size)
+        for i, k in enumerate(uniq):
+            k = int(k)
+            part = sorted_vertices[bounds[i]:bounds[i + 1]]
+            lst = self._pending.get(k)
+            if lst is None:
+                self._pending[k] = [part]
+                heapq.heappush(self._heap, k)
+            else:
+                lst.append(part)
+
+    def pop(self, key: np.ndarray) -> tuple[int, np.ndarray] | None:
+        """Lowest bucket with live members, or ``None`` when drained.
+
+        A member is live when ``key[v]`` still equals the bucket it was
+        pushed under; everything else is a stale entry from before a
+        decrease/increase-key and is skipped (the "lazy bucket" part).
+        """
+        while self._heap:
+            k = heapq.heappop(self._heap)
+            parts = self._pending.pop(k)
+            cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            members = np.unique(cand[key[cand] == k])
+            if members.size:
+                return k, members
+        return None
+
+
+def resolve_batch_rows(batch_rows: int | None, n: int,
+                       default: int = 2048) -> int:
+    """Validate the row-blocking width of the SpGEMM-style kernels.
+
+    ``None`` resolves to ``min(default, n)`` (never below 1, so empty
+    graphs still get a well-formed ``range``).  An explicit width must
+    actually tile the matrix: non-positive values or more rows than the
+    graph has are configuration errors, not silently-working slices.
+    """
+    if batch_rows is None:
+        return max(min(default, n), 1)
+    batch_rows = int(batch_rows)
+    if batch_rows <= 0 or batch_rows > max(n, 1):
+        raise ConfigError(
+            f"batch_rows must be in [1, n={n}], got {batch_rows}")
+    return batch_rows
 
 
 class Frontier:

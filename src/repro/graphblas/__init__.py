@@ -11,7 +11,8 @@ expressed purely in those primitives (the same lowering GraphMat's
 engine performs internally).
 """
 
-from repro.graphblas.algorithms import grb_bfs, grb_pagerank, grb_sssp
+from repro.graphblas.algorithms import (grb_bfs, grb_cc, grb_kcore,
+                                        grb_mis, grb_pagerank, grb_sssp)
 from repro.graphblas.matrix import GrbMatrix
 from repro.graphblas.profiler import KernelProfiler
 from repro.graphblas.semiring import (
@@ -33,4 +34,7 @@ __all__ = [
     "grb_bfs",
     "grb_sssp",
     "grb_pagerank",
+    "grb_kcore",
+    "grb_mis",
+    "grb_cc",
 ]

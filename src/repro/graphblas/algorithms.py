@@ -14,7 +14,98 @@ import numpy as np
 from repro.graphblas.matrix import GrbMatrix
 from repro.graphblas.semiring import LOR_LAND, MIN_PLUS, PLUS_TIMES
 
-__all__ = ["grb_bfs", "grb_sssp", "grb_pagerank"]
+__all__ = ["grb_bfs", "grb_sssp", "grb_pagerank",
+           "grb_kcore", "grb_mis", "grb_cc"]
+
+
+def _simple_undirected(a: GrbMatrix) -> GrbMatrix:
+    """Loop-free, deduplicated, symmetric pattern matrix of ``A``.
+
+    The structural kernels (k-core, MIS, CC) are defined on the simple
+    undirected view; the unit values the pattern gets by default make
+    PLUS-TIMES mxv a neighbor count and MIN-PLUS a min-gather shifted
+    by exactly ``+1.0`` (exact in float64 for vertex-id payloads).
+    """
+    from repro.graph.csr import CSRGraph
+    from repro.graph.simple import simple_undirected_view
+
+    view = simple_undirected_view(
+        a.csr.source_ids(), a.csr.col_idx, a.n)
+    u_src, u_dst = view.to_edge_arrays()
+    return GrbMatrix(CSRGraph.from_arrays(u_src, u_dst, a.n),
+                     profiler=a.profiler)
+
+
+def grb_kcore(a: GrbMatrix) -> np.ndarray:
+    """Core numbers via PLUS-TIMES degree recounts over the live mask."""
+    und = _simple_undirected(a)
+    n = a.n
+    core = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return core
+    alive = np.ones(n, dtype=bool)
+    deg = und.mxv(PLUS_TIMES, alive.astype(np.float64))
+    level = 0
+    while alive.any():
+        level = max(level, int(deg[alive].min()))
+        while True:
+            peel = alive & (deg <= level)
+            if not peel.any():
+                break
+            core[peel] = level
+            alive[peel] = False
+            if not alive.any():
+                break
+            # Masked recount: dead rows are neither computed nor read.
+            deg = und.mxv(PLUS_TIMES, alive.astype(np.float64),
+                          mask=alive)
+    return core
+
+
+def grb_mis(a: GrbMatrix, priorities: np.ndarray) -> np.ndarray:
+    """MIS via MIN-PLUS priority gathers and LOR-LAND knockouts.
+
+    The pattern's unit values shift every gathered minimum by +1.0, so
+    the winner test is ``pr + 1 < gathered`` -- exact for integer
+    priorities.  Empty or fully-decided neighborhoods gather ``inf``
+    and win outright.
+    """
+    und = _simple_undirected(a)
+    n = a.n
+    in_set = np.zeros(n, dtype=bool)
+    if n == 0:
+        return in_set
+    pr = np.asarray(priorities, dtype=np.float64)
+    decided = np.zeros(n, dtype=bool)
+    while not decided.all():
+        masked = np.where(decided, np.inf, pr)
+        best = und.mxv(MIN_PLUS, masked)
+        winners = ~decided & (pr + 1.0 < best)
+        in_set |= winners
+        reached = und.mxv(LOR_LAND, winners.astype(np.float64)) > 0
+        decided |= winners | reached
+    return in_set
+
+
+def grb_cc(a: GrbMatrix) -> np.ndarray:
+    """Components via MIN-PLUS label propagation to fixpoint.
+
+    LAGraph-style: each sweep pulls the minimum neighbor label (the
+    +1.0 value shift is subtracted back out) and keeps the elementwise
+    minimum.  On the symmetric simple pattern this converges to the
+    smallest member id per weak component -- the Graphalytics
+    convention, matching every system's wcc/cc output exactly.
+    """
+    und = _simple_undirected(a)
+    n = a.n
+    label = np.arange(n, dtype=np.float64)
+    while True:
+        gathered = und.mxv(MIN_PLUS, label)
+        new = und.ewise_add(MIN_PLUS, label, gathered - 1.0)
+        if np.array_equal(new, label):
+            break
+        label = new
+    return label.astype(np.int64)
 
 
 def grb_bfs(a: GrbMatrix, root: int) -> np.ndarray:

@@ -30,9 +30,12 @@ from repro.systems import calibration
 __all__ = ["GraphSystem", "LoadedGraph", "KernelResult", "ALGORITHMS"]
 
 #: Algorithm identifiers used across the package.  ``bc`` and ``tc``
-#: are the paper's Sec. V extension kernels (GAP provides them).
+#: are the paper's Sec. V extension kernels (GAP provides them);
+#: ``kcore``/``mis``/``cc`` widen the structural matrix over the shared
+#: kernels (``cc`` is the Afforest/Shiloach-Vishkin alternative to the
+#: label-propagation ``wcc``; see docs/algorithms.md).
 ALGORITHMS = ("bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc",
-              "bc", "tc")
+              "bc", "tc", "kcore", "mis", "cc")
 
 
 @dataclass

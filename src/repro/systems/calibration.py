@@ -143,6 +143,13 @@ _ANCHORS: dict[str, dict[str, Anchor]] = {
         # not this paper (which does not time them).
         "bc": Anchor(2.0, 16 * 2 * 0.8 * _M),
         "tc": Anchor(60.0, SCALE22_WEDGES / 2.0),
+        # Structural matrix (docs/algorithms.md): bucket-queue peel
+        # touches each arc ~twice (decrement + re-bucket) ...
+        "kcore": Anchor(0.080, 2.0 * _M + 2.0 * _N),
+        # ... Luby rounds touch live arcs ~1.5x before dying out ...
+        "mis": Anchor(0.040, 1.5 * _M + _N),
+        # ... and Afforest's sampled hooks beat full SV's 2 units/arc.
+        "cc": Anchor(0.030, _M + _N),
     },
     "graph500": {
         # Top-down only: every arc examined once per root (measured
@@ -160,6 +167,10 @@ _ANCHORS: dict[str, dict[str, Anchor]] = {
         "wcc": Anchor(0.30, _M + _N),
         "cdlp": Anchor(0.74, _M + _N),
         "lcc": Anchor(1800.0, SCALE22_WEDGES),
+        # Property-API visits dominate the structural kernels too.
+        "kcore": Anchor(0.90, 2.0 * _M + 16.0 * _N),
+        "mis": Anchor(0.55, 1.5 * _M + 16.0 * _N),
+        "cc": Anchor(0.22, _M + _N),
     },
     "graphmat": {
         # Masked SpMV per level: ~1.15 units/arc (measured; all arcs
@@ -171,6 +182,9 @@ _ANCHORS: dict[str, dict[str, Anchor]] = {
         "wcc": Anchor(0.175, _M + _N),
         "cdlp": Anchor(4.0, _M + _N),
         "lcc": Anchor(395.0, SCALE22_WEDGES),
+        # Full-sweep degree recounts: one SpMV per peel superstep.
+        "kcore": Anchor(0.60, 3.0 * _M + _N),
+        "mis": Anchor(0.30, 2.0 * _M + _N),
     },
     "powergraph": {
         # GAS SSSP: gather + scatter + mirror sync ~= 19.5 units/arc
@@ -183,6 +197,9 @@ _ANCHORS: dict[str, dict[str, Anchor]] = {
         "wcc": Anchor(0.25, _M + _N),
         "cdlp": Anchor(2.0, 1.5 * _M),
         "lcc": Anchor(265.0, SCALE22_WEDGES),
+        # Mirror-synchronized apply per superstep on top of edge work.
+        "kcore": Anchor(0.70, 2.5 * _M + _N),
+        "mis": Anchor(0.45, 2.0 * _M + _N),
     },
 }
 

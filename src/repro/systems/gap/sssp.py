@@ -12,7 +12,9 @@ the current bucket (:func:`~repro.graph.frontier.gather_slots`) and
 applies :func:`~repro.graph.frontier.segment_min_scatter` -- the count
 of those gathered edges is exactly the work the cost model prices.
 
-Bucket membership is tracked lazily: vertices are pushed onto per-bucket
+Bucket membership is tracked lazily (the shared
+:class:`~repro.graph.frontier.BucketQueue`, which k-core peeling also
+drives): vertices are pushed onto per-bucket
 pending lists as their tentative bucket changes and stale entries are
 filtered on pop (``bucket[v] == k``), replacing the old ``O(n)``
 ``np.flatnonzero(bucket == current)`` scan per bucket -- pure queue
@@ -22,12 +24,14 @@ profile are unchanged.
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
 from repro.errors import SystemCapabilityError
-from repro.graph.frontier import gather_slots, segment_min_scatter
+from repro.graph.frontier import (
+    BucketQueue,
+    gather_slots,
+    segment_min_scatter,
+)
 from repro.graph.scratch import KernelScratch, scratch_for
 from repro.machine.threads import WorkProfile
 from repro.systems.gap.graph import GapGraph
@@ -66,43 +70,6 @@ def _relax(out, frontier: np.ndarray, dist: np.ndarray,
     return improved, gs.total
 
 
-class _BucketQueue:
-    """Lazy bucket membership: pending id lists + a min-heap of bucket
-    keys.  ``bucket`` (the array) stays the source of truth; entries that
-    went stale between push and pop are filtered by ``bucket[v] == k``.
-    Invariant: every vertex with ``bucket[v] == k >= 0`` has at least one
-    entry in ``pending[k]``, so a pop yields exactly the sorted-unique
-    set the old full scan produced.
-    """
-
-    __slots__ = ("_pending", "_heap")
-
-    def __init__(self) -> None:
-        self._pending: dict[int, list[np.ndarray]] = {}
-        self._heap: list[int] = []
-
-    def push(self, vertices: np.ndarray, keys: np.ndarray) -> None:
-        for k in np.unique(keys):
-            k = int(k)
-            lst = self._pending.get(k)
-            if lst is None:
-                self._pending[k] = [vertices[keys == k]]
-                heapq.heappush(self._heap, k)
-            else:
-                lst.append(vertices[keys == k])
-
-    def pop(self, bucket: np.ndarray) -> tuple[int, np.ndarray] | None:
-        """Lowest bucket with live members, or ``None`` when drained."""
-        while self._heap:
-            k = heapq.heappop(self._heap)
-            parts = self._pending.pop(k)
-            cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
-            members = np.unique(cand[bucket[cand] == k])
-            if members.size:
-                return k, members
-        return None
-
-
 def delta_stepping(graph: GapGraph, root: int,
                    delta: float = DEFAULT_DELTA
                    ) -> tuple[np.ndarray, WorkProfile, dict]:
@@ -122,7 +89,7 @@ def delta_stepping(graph: GapGraph, root: int,
 
     bucket = np.full(n, -1, dtype=np.int64)
     bucket[root] = 0
-    queue = _BucketQueue()
+    queue = BucketQueue()
     queue.push(np.array([root], dtype=np.int64),
                np.zeros(1, dtype=np.int64))
     relaxations = 0

@@ -11,8 +11,10 @@ from repro.graph.edgelist import EdgeList
 from repro.machine.threads import WorkProfile
 from repro.systems.base import GraphSystem
 from repro.systems.gap.bfs import DEFAULT_ALPHA, DEFAULT_BETA, dobfs
-from repro.systems.gap.cc import shiloach_vishkin
+from repro.systems.gap.cc import afforest, shiloach_vishkin
 from repro.systems.gap.graph import GapGraph, build_gap_graph
+from repro.systems.gap.kcore import kcore_peel
+from repro.systems.gap.mis import mis_luby
 from repro.systems.gap.pagerank import (
     DEFAULT_DAMPING,
     DEFAULT_EPSILON,
@@ -27,11 +29,13 @@ class GapSystem(GraphSystem):
     """The GAP Benchmark Suite (Sec. III-C item 2).
 
     Provides all six GAP benchmarks: the paper's three (bfs, sssp,
-    pagerank) plus cc/wcc, and the Sec. V extension kernels bc and tc.
+    pagerank) plus cc/wcc, the Sec. V extension kernels bc and tc, and
+    the widened structural matrix (kcore, mis, and afforest cc).
     """
 
     name = "gap"
-    provides = frozenset({"bfs", "sssp", "pagerank", "wcc", "bc", "tc"})
+    provides = frozenset({"bfs", "sssp", "pagerank", "wcc", "bc", "tc",
+                          "kcore", "mis", "cc"})
     separable_construction = True
     #: EPG* feeds GAP the weighted text edge list; the ``.sg``
     #: serialized form is available through ``use_serialized=True``.
@@ -135,6 +139,27 @@ class GapSystem(GraphSystem):
     def _run_wcc(self, loaded):
         labels, rounds, profile = shiloach_vishkin(loaded.data)
         return ({"labels": labels}, profile, rounds, {})
+
+    def _run_cc(self, loaded, neighbor_rounds: int | None = None):
+        from repro.systems.gap.cc import DEFAULT_NEIGHBOR_ROUNDS
+
+        neighbor_rounds = neighbor_rounds or DEFAULT_NEIGHBOR_ROUNDS
+        labels, rounds, profile = afforest(
+            loaded.data, neighbor_rounds=neighbor_rounds)
+        return ({"labels": labels}, profile, rounds, {})
+
+    def _run_kcore(self, loaded):
+        core, rounds, stats = kcore_peel(loaded.data)
+        return ({"core": core}, stats["profile"], rounds,
+                {"max_core": float(stats["max_core"])})
+
+    def _run_mis(self, loaded, seed: int | None = None):
+        from repro.algorithms.mis import DEFAULT_MIS_SEED
+
+        in_set, rounds, stats = mis_luby(
+            loaded.data, seed=DEFAULT_MIS_SEED if seed is None else seed)
+        return ({"in_set": in_set.astype(np.int64)}, stats["profile"],
+                rounds, {"set_size": float(stats["set_size"])})
 
     def _run_bc(self, loaded, n_sources: int | None = None,
                 seed: int = 27):

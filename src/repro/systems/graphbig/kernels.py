@@ -15,10 +15,12 @@ import scipy.sparse as sp
 from repro.graph.frontier import (claim_first_parent, gather_slots,
                                   segment_min_scatter)
 from repro.graph.scratch import scratch_for
+from repro.graph.simple import simple_undirected_view
 from repro.machine.threads import WorkProfile
 
 __all__ = ["bfs_queue", "sssp_bellman_ford", "pagerank_jacobi",
            "wcc_hashmin", "cdlp_sync", "lcc_wedges",
+           "kcore_props", "mis_props", "cc_sv",
            "PROPERTY_ACCESS_COST"]
 
 #: Work units charged per vertex *visit* over and above its edge work:
@@ -177,15 +179,143 @@ def cdlp_sync(pg, iterations: int):
     return labels, iterations, profile
 
 
-def lcc_wedges(pg, batch_rows: int = 2048):
+def kcore_props(pg):
+    """Level-synchronous k-core peel through the property records.
+
+    GraphBIG keeps the residual degree as a vertex property and sweeps
+    a task queue of sub-``k`` vertices per superstep; every peel and
+    every neighbor decrement goes through the property API, so the
+    per-visit overhead is charged on top of the edge work.  Core
+    numbers are unique, so the output matches the other systems bit
+    for bit.
+    """
+    n = pg.n
+    view = simple_undirected_view(pg.out.source_ids(), pg.out.col_idx, n)
+    profile = WorkProfile()
+    profile.add_round(units=pg.out.n_edges + PROPERTY_ACCESS_COST * n,
+                      memory_bytes=16.0 * pg.out.n_edges, skew=0.05)
+    core = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return core, 0, profile
+    scratch = scratch_for(pg, n, max(pg.out.n_edges, view.nnz))
+    deg = view.degrees.copy()
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+    level = 0
+    supersteps = 0
+    max_deg = float(deg.max())
+    while remaining:
+        alive_idx = np.flatnonzero(alive)
+        level = max(level, int(deg[alive_idx].min()))
+        frontier = alive_idx[deg[alive_idx] <= level]
+        while frontier.size:
+            supersteps += 1
+            core[frontier] = level
+            alive[frontier] = False
+            remaining -= int(frontier.size)
+            gs = gather_slots(view.indptr, frontier, scratch)
+            profile.add_round(
+                units=gs.total + PROPERTY_ACCESS_COST * frontier.size,
+                memory_bytes=32.0 * gs.total,
+                skew=min(max_deg / max(gs.total, 1.0), 1.0))
+            nbrs = view.indices[gs.slots]
+            nbrs = nbrs[alive[nbrs]]
+            if nbrs.size == 0:
+                break
+            ids, cnt = np.unique(nbrs, return_counts=True)
+            new_deg = np.maximum(deg[ids] - cnt, level)
+            deg[ids] = new_deg
+            frontier = ids[new_deg <= level]
+    return core, supersteps, profile
+
+
+def mis_props(pg, priorities: np.ndarray):
+    """Pull-based Luby rounds over the vertex property array.
+
+    Each superstep is a full vertex-centric sweep: every undecided
+    vertex pulls the minimum priority of its undecided neighbors, wins
+    if its own beats it, and winners' neighbors are retired through the
+    property API.  Shared seeded ``priorities`` make the rounds
+    equivalent to greedy-by-priority, hence identical across systems.
+    """
+    n = pg.n
+    view = simple_undirected_view(pg.out.source_ids(), pg.out.col_idx, n)
+    profile = WorkProfile()
+    profile.add_round(units=pg.out.n_edges + PROPERTY_ACCESS_COST * n,
+                      memory_bytes=16.0 * pg.out.n_edges, skew=0.05)
+    in_set = np.zeros(n, dtype=bool)
+    if n == 0:
+        return in_set, 0, profile
+    scratch = scratch_for(pg, n, max(pg.out.n_edges, view.nnz))
+    pr = np.asarray(priorities, dtype=np.int64)
+    decided = np.zeros(n, dtype=bool)
+    sentinel = np.int64(n)
+    starts = view.indptr[:-1]
+    nonempty = view.degrees > 0
+    supersteps = 0
+    while not decided.all():
+        supersteps += 1
+        undecided = int(n - decided.sum())
+        vals = np.where(decided[view.indices], sentinel,
+                        pr[view.indices])
+        best = np.full(n, sentinel, dtype=np.int64)
+        if nonempty.any():
+            best[nonempty] = np.minimum.reduceat(vals, starts[nonempty])
+        winners = ~decided & (pr < best)
+        in_set[winners] = True
+        decided[winners] = True
+        ws = gather_slots(view.indptr, np.flatnonzero(winners), scratch)
+        decided[view.indices[ws.slots]] = True
+        profile.add_round(
+            units=view.nnz + ws.total + PROPERTY_ACCESS_COST * undecided,
+            memory_bytes=24.0 * (view.nnz + ws.total), skew=0.1)
+    return in_set, supersteps, profile
+
+
+def cc_sv(pg):
+    """Shiloach-Vishkin components through the property records.
+
+    Hook + compress like GAP's ``cc``, but each label read/write is a
+    property access; converges to minimum-member-id labels (the
+    Graphalytics convention), exactly matching :func:`wcc_hashmin` on
+    undirected inputs and every other system's ``cc``.
+    """
+    n = pg.n
+    src = pg.out.source_ids()
+    dst = pg.out.col_idx
+    m = src.size
+    comp = np.arange(n, dtype=np.int64)
+    profile = WorkProfile()
+    rounds = 0
+    while True:
+        rounds += 1
+        low = np.minimum(comp[src], comp[dst])
+        new_comp = comp.copy()
+        if m:
+            np.minimum.at(new_comp, src, low)
+            np.minimum.at(new_comp, dst, low)
+        new_comp = new_comp[new_comp]
+        profile.add_round(units=2.0 * m + PROPERTY_ACCESS_COST * n,
+                          memory_bytes=24.0 * m, skew=0.05)
+        if np.array_equal(new_comp, comp):
+            break
+        comp = new_comp
+    return comp, rounds, profile
+
+
+def lcc_wedges(pg, batch_rows: int | None = None):
     """Per-vertex clustering via neighborhood wedge checks.
 
     Work is charged per wedge (ordered neighbor pair), matching the
     vertex-centric implementation that intersects adjacency lists --
     the cost blow-up on dense graphs that makes GraphBIG's dota-league
-    LCC the largest number in Table I (1073.7 s).
+    LCC the largest number in Table I (1073.7 s).  ``batch_rows``
+    (default: min(2048, n)) must tile the matrix or ``ConfigError``.
     """
+    from repro.graph.frontier import resolve_batch_rows
+
     n = pg.n
+    batch_rows = resolve_batch_rows(batch_rows, n)
     src = pg.out.source_ids()
     dst = pg.out.col_idx
     keep = src != dst

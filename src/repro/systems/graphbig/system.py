@@ -42,7 +42,8 @@ class GraphBigSystem(GraphSystem):
     """GraphBIG (Sec. III-C item 3)."""
 
     name = "graphbig"
-    provides = frozenset({"bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc"})
+    provides = frozenset({"bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc",
+                          "kcore", "mis", "cc"})
     #: "GraphBIG reads in the file and generates the data structure
     #: simultaneously" -- construction is not separable (Fig 2 caption).
     separable_construction = False
@@ -131,3 +132,21 @@ class GraphBigSystem(GraphSystem):
         lcc, profile, stats = kernels.lcc_wedges(loaded.data)
         return ({"lcc": lcc}, profile, None,
                 {"wedges": stats["wedges"]})
+
+    def _run_kcore(self, loaded):
+        core, supersteps, profile = kernels.kcore_props(loaded.data)
+        return ({"core": core}, profile, supersteps,
+                {"max_core": float(core.max()) if core.size else 0.0})
+
+    def _run_mis(self, loaded, seed: int | None = None):
+        from repro.algorithms.mis import DEFAULT_MIS_SEED, mis_priorities
+
+        pr = mis_priorities(loaded.data.n,
+                            DEFAULT_MIS_SEED if seed is None else seed)
+        in_set, supersteps, profile = kernels.mis_props(loaded.data, pr)
+        return ({"in_set": in_set.astype(np.int64)}, profile, supersteps,
+                {"set_size": float(in_set.sum())})
+
+    def _run_cc(self, loaded):
+        labels, rounds, profile = kernels.cc_sv(loaded.data)
+        return ({"labels": labels}, profile, rounds, {})

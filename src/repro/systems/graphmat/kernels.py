@@ -18,7 +18,8 @@ from repro.graph.scratch import scratch_for
 from repro.machine.threads import WorkProfile
 
 __all__ = ["bfs_spmv", "sssp_bellman_spmv", "pagerank_float32",
-           "wcc_minplus", "cdlp_spmv", "lcc_spmv"]
+           "wcc_minplus", "cdlp_spmv", "lcc_spmv",
+           "kcore_spmv", "mis_spmv", "simple_pattern_matrix"]
 
 
 def _active_nnz(at: DCSRMatrix, active_mask: np.ndarray) -> float:
@@ -187,11 +188,116 @@ def cdlp_spmv(at: DCSRMatrix, iterations: int):
     return labels, iterations, profile
 
 
-def lcc_spmv(at: DCSRMatrix, batch_rows: int = 2048):
-    """LCC via masked sparse-matrix products (SpGEMM on the pattern)."""
+def simple_pattern_matrix(at: DCSRMatrix) -> DCSRMatrix:
+    """Simple undirected pattern DCSR for the structural kernels.
+
+    ``at_sym`` keeps self-loops and duplicate arcs (GraphMat stores the
+    matrix as given), but k-core and MIS are defined on the *simple*
+    view -- so those vertex programs start from a loop-free,
+    deduplicated, symmetric pattern matrix.  No values are attached:
+    zero-valued entries make ``spmv_min_plus`` a pure min-gather and
+    ``pattern_only`` SpMVs count neighbors.
+    """
+    from repro.graph.csr import CSRGraph
+    from repro.graph.simple import simple_undirected_view
+
+    view = simple_undirected_view(at.row_sources(), at.col_idx, at.n)
+    u_src, u_dst = view.to_edge_arrays()
+    # Symmetric pattern: the matrix is its own transpose.
+    return DCSRMatrix.from_csr(CSRGraph.from_arrays(u_src, u_dst, at.n))
+
+
+def kcore_spmv(at: DCSRMatrix):
+    """k-core as repeated degree-count SpMV plus a threshold apply.
+
+    Every superstep recounts live degrees with one ``pattern_only``
+    SpMV over the live mask and peels everything at or under the
+    current level in the apply step -- full-sweep bulk-synchronous, the
+    GraphMat shape (no bucket queue; the ``n``-term per sweep is what
+    the calibration prices).  Produces the unique Matula-Beck core
+    numbers, bit-identical to the peeling systems.
+    """
+    und = simple_pattern_matrix(at)
+    n = at.n
+    profile = WorkProfile()
+    profile.add_round(units=at.nnz + n, memory_bytes=16.0 * at.nnz,
+                      skew=0.05)
+    core = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return core, 0, profile
+    nnz = und.nnz
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+    level = 0
+    supersteps = 0
+    cur_deg = und.spmv_plus_times(alive.astype(np.float64),
+                                  pattern_only=True)
+    while remaining:
+        level = max(level, int(cur_deg[alive].min()))
+        while True:
+            supersteps += 1
+            peel = alive & (cur_deg <= level)
+            profile.add_round(units=_active_nnz(und, alive) + n,
+                              memory_bytes=12.0 * nnz + 8.0 * n,
+                              skew=0.05)
+            if not peel.any():
+                break
+            core[peel] = level
+            alive[peel] = False
+            remaining -= int(peel.sum())
+            if remaining == 0:
+                break
+            cur_deg = und.spmv_plus_times(alive.astype(np.float64),
+                                          pattern_only=True)
+    return core, supersteps, profile
+
+
+def mis_spmv(at: DCSRMatrix, priorities: np.ndarray):
+    """MIS as min-gather SpMV rounds with an OR-AND knockout step.
+
+    One ``spmv_min_plus`` over the masked priority vector finds each
+    vertex's best undecided neighbor (empty rows gather ``inf``, so
+    isolated or fully-decided neighborhoods win outright); one
+    ``spmv_or_and`` over the winner mask retires their neighbors.
+    Shared seeded priorities pin the unique greedy result.
+    """
+    und = simple_pattern_matrix(at)
+    n = at.n
+    profile = WorkProfile()
+    profile.add_round(units=at.nnz + n, memory_bytes=16.0 * at.nnz,
+                      skew=0.05)
+    in_set = np.zeros(n, dtype=bool)
+    if n == 0:
+        return in_set, 0, profile
+    pr = np.asarray(priorities, dtype=np.float64)
+    decided = np.zeros(n, dtype=bool)
+    nnz = und.nnz
+    rounds = 0
+    while not decided.all():
+        rounds += 1
+        masked = np.where(decided, np.inf, pr)
+        best = und.spmv_min_plus(masked)
+        winners = ~decided & (pr < best)
+        in_set |= winners
+        reached = und.spmv_or_and(winners)
+        decided |= winners | reached
+        profile.add_round(units=2.0 * nnz + n,
+                          memory_bytes=20.0 * nnz + 8.0 * n, skew=0.05)
+    return in_set, rounds, profile
+
+
+def lcc_spmv(at: DCSRMatrix, batch_rows: int | None = None):
+    """LCC via masked sparse-matrix products (SpGEMM on the pattern).
+
+    ``batch_rows`` (default: min(2048, n)) is the row-tile width;
+    out-of-range values raise ``ConfigError``.
+    """
     import scipy.sparse as sp
 
+    from repro.graph.frontier import resolve_batch_rows
+
     n = at.n
+    batch_rows = resolve_batch_rows(batch_rows, n)
     # Reconstruct the directed adjacency A from its stored transpose.
     src = at.row_sources()
     dst = at.col_idx

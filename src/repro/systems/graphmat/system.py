@@ -41,6 +41,8 @@ _ALGO_LOG_NAMES = {
     "wcc": "compute Connected Components",
     "cdlp": "compute Label Propagation",
     "lcc": "compute Triangle Counting",
+    "kcore": "compute KCore",
+    "mis": "compute MIS",
 }
 
 
@@ -82,7 +84,8 @@ class GraphMatSystem(GraphSystem):
     """GraphMat (Sec. III-C item 4)."""
 
     name = "graphmat"
-    provides = frozenset({"bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc"})
+    provides = frozenset({"bfs", "sssp", "pagerank", "wcc", "cdlp", "lcc",
+                          "kcore", "mis"})
     separable_construction = True
     input_key = "mtxbin"
 
@@ -171,6 +174,20 @@ class GraphMatSystem(GraphSystem):
     def _run_lcc(self, loaded):
         lcc, profile, stats = kernels.lcc_spmv(loaded.data.at)
         return ({"lcc": lcc}, profile, None, {"wedges": stats["wedges"]})
+
+    def _run_kcore(self, loaded):
+        core, supersteps, profile = kernels.kcore_spmv(loaded.data.at)
+        return ({"core": core}, profile, supersteps,
+                {"max_core": float(core.max()) if core.size else 0.0})
+
+    def _run_mis(self, loaded, seed: int | None = None):
+        from repro.algorithms.mis import DEFAULT_MIS_SEED, mis_priorities
+
+        pr = mis_priorities(loaded.data.n,
+                            DEFAULT_MIS_SEED if seed is None else seed)
+        in_set, rounds, profile = kernels.mis_spmv(loaded.data.at, pr)
+        return ({"in_set": in_set.astype(np.int64)}, profile, rounds,
+                {"set_size": float(in_set.sum())})
 
     # -- native phase view ---------------------------------------------
     def phase_breakdown(self, loaded, result) -> GraphMatPhases:

@@ -15,7 +15,7 @@ from repro.machine.threads import WorkProfile
 from repro.systems.powergraph.gas import GasEngine, VertexProgram
 
 __all__ = ["sssp_program", "pagerank_gas", "wcc_program", "cdlp_gas",
-           "lcc_gas", "bfs_hop_program"]
+           "lcc_gas", "bfs_hop_program", "kcore_gas", "mis_gas"]
 
 
 # ----------------------------------------------------------------------
@@ -175,12 +175,15 @@ def cdlp_gas(engine: GasEngine, iterations: int = 10
 # ----------------------------------------------------------------------
 # LCC (toolkit: graph_analytics/simple_undirected_triangle_count.cpp)
 # ----------------------------------------------------------------------
-def lcc_gas(engine: GasEngine, batch_rows: int = 2048
+def lcc_gas(engine: GasEngine, batch_rows: int | None = None
             ) -> tuple[np.ndarray, WorkProfile, dict]:
     import scipy.sparse as sp
 
+    from repro.graph.frontier import resolve_batch_rows
+
     inn = engine.inn
     n = inn.n_vertices
+    batch_rows = resolve_batch_rows(batch_rows, n)
     dst = inn.source_ids()
     src = inn.col_idx
     keep = src != dst
@@ -211,3 +214,96 @@ def lcc_gas(engine: GasEngine, batch_rows: int = 2048
     mask = wedge_weights > 0
     out[mask] = tri[mask] / wedge_weights[mask]
     return out, profile, {"wedges": float(wedge_weights.sum())}
+
+
+# ----------------------------------------------------------------------
+# k-core (toolkit: graph_analytics/kcore.cpp) -- the toolkit peels by
+# signaling sub-k vertices; each apply runs on every mirror, so the
+# per-round vertex term is replication-weighted like LCC's.
+# ----------------------------------------------------------------------
+def kcore_gas(engine: GasEngine
+              ) -> tuple[np.ndarray, int, WorkProfile, dict]:
+    from repro.graph.simple import simple_undirected_view
+
+    inn = engine.inn
+    n = inn.n_vertices
+    view = simple_undirected_view(inn.col_idx, inn.source_ids(), n)
+    rep = max(engine.cut.replication_factor, 1.0)
+    profile = WorkProfile()
+    profile.add_round(units=inn.n_edges + rep * n,
+                      memory_bytes=16.0 * inn.n_edges, skew=0.05)
+    core = np.zeros(n, dtype=np.int64)
+    stats = {"replication_factor": engine.cut.replication_factor}
+    if n == 0:
+        return core, 0, profile, stats
+    deg = view.degrees.copy()
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+    level = 0
+    supersteps = 0
+    while remaining:
+        alive_idx = np.flatnonzero(alive)
+        level = max(level, int(deg[alive_idx].min()))
+        frontier = alive_idx[deg[alive_idx] <= level]
+        while frontier.size:
+            supersteps += 1
+            core[frontier] = level
+            alive[frontier] = False
+            remaining -= int(frontier.size)
+            nbrs = view.neighbors_of(frontier)
+            touched = nbrs.size
+            nbrs = nbrs[alive[nbrs]]
+            profile.add_round(units=touched + rep * frontier.size,
+                              memory_bytes=24.0 * touched, skew=0.1)
+            if nbrs.size == 0:
+                break
+            ids, cnt = np.unique(nbrs, return_counts=True)
+            new_deg = np.maximum(deg[ids] - cnt, level)
+            deg[ids] = new_deg
+            frontier = ids[new_deg <= level]
+    return core, supersteps, profile, stats
+
+
+# ----------------------------------------------------------------------
+# MIS (toolkit: graph_analytics/simple_coloring-style rounds) -- gather
+# is a min over mirror-replicated neighbor priorities, apply decides
+# winners, scatter retires their neighbors.
+# ----------------------------------------------------------------------
+def mis_gas(engine: GasEngine, priorities: np.ndarray
+            ) -> tuple[np.ndarray, int, WorkProfile, dict]:
+    from repro.graph.simple import simple_undirected_view
+
+    inn = engine.inn
+    n = inn.n_vertices
+    view = simple_undirected_view(inn.col_idx, inn.source_ids(), n)
+    rep = max(engine.cut.replication_factor, 1.0)
+    profile = WorkProfile()
+    profile.add_round(units=inn.n_edges + rep * n,
+                      memory_bytes=16.0 * inn.n_edges, skew=0.05)
+    in_set = np.zeros(n, dtype=bool)
+    stats = {"replication_factor": engine.cut.replication_factor}
+    if n == 0:
+        return in_set, 0, profile, stats
+    pr = np.asarray(priorities, dtype=np.int64)
+    decided = np.zeros(n, dtype=bool)
+    sentinel = np.int64(n)
+    starts = view.indptr[:-1]
+    nonempty = view.degrees > 0
+    supersteps = 0
+    while not decided.all():
+        supersteps += 1
+        undecided = int(n - decided.sum())
+        vals = np.where(decided[view.indices], sentinel,
+                        pr[view.indices])
+        best = np.full(n, sentinel, dtype=np.int64)
+        if nonempty.any():
+            best[nonempty] = np.minimum.reduceat(vals, starts[nonempty])
+        winners = ~decided & (pr < best)
+        in_set[winners] = True
+        decided[winners] = True
+        losers = view.neighbors_of(np.flatnonzero(winners))
+        decided[losers] = True
+        profile.add_round(
+            units=view.nnz + losers.size + rep * undecided,
+            memory_bytes=24.0 * (view.nnz + losers.size), skew=0.1)
+    return in_set, supersteps, profile, stats

@@ -50,7 +50,8 @@ class PowerGraphSystem(GraphSystem):
     name = "powergraph"
     #: No BFS: "PowerGraph ... doesn't provide a reference
     #: implementation of BFS in its toolkits" (Sec. III-D).
-    provides = frozenset({"sssp", "pagerank", "wcc", "cdlp", "lcc"})
+    provides = frozenset({"sssp", "pagerank", "wcc", "cdlp", "lcc",
+                          "kcore", "mis"})
     #: Reads the TSV and partitions in one ingest pass.
     separable_construction = False
     input_key = "tsv"
@@ -179,6 +180,24 @@ class PowerGraphSystem(GraphSystem):
     def _run_lcc(self, loaded):
         lcc, profile, stats = programs.lcc_gas(loaded.data.engine)
         return ({"lcc": lcc}, profile, None, {"wedges": stats["wedges"]})
+
+    def _run_kcore(self, loaded):
+        core, supersteps, profile, stats = programs.kcore_gas(
+            loaded.data.engine)
+        return ({"core": core}, profile, supersteps,
+                {"replication_factor": stats["replication_factor"],
+                 "max_core": float(core.max()) if core.size else 0.0})
+
+    def _run_mis(self, loaded, seed: int | None = None):
+        from repro.algorithms.mis import DEFAULT_MIS_SEED, mis_priorities
+
+        pr = mis_priorities(loaded.data.n,
+                            DEFAULT_MIS_SEED if seed is None else seed)
+        in_set, supersteps, profile, stats = programs.mis_gas(
+            loaded.data.engine, pr)
+        return ({"in_set": in_set.astype(np.int64)}, profile, supersteps,
+                {"replication_factor": stats["replication_factor"],
+                 "set_size": float(in_set.sum())})
 
     # -- the Graphalytics BFS driver -----------------------------------
     def run_toolkit_extension(self, loaded, program: str,

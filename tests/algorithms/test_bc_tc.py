@@ -111,11 +111,12 @@ class TestTriangleCount:
 
 
 class TestGapExtensionKernels:
-    def test_gap_provides_all_six(self):
+    def test_gap_provides_all_nine(self):
         from repro.systems import create_system
 
         assert create_system("gap").provides == {
-            "bfs", "sssp", "pagerank", "wcc", "bc", "tc"}
+            "bfs", "sssp", "pagerank", "wcc", "bc", "tc",
+            "kcore", "mis", "cc"}
 
     def test_bc_through_system(self, kron10_dataset):
         from repro.systems import create_system

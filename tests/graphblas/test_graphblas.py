@@ -16,6 +16,9 @@ from repro.graphblas import (
     GrbMatrix,
     KernelProfiler,
     grb_bfs,
+    grb_cc,
+    grb_kcore,
+    grb_mis,
     grb_pagerank,
     grb_sssp,
 )
@@ -104,6 +107,47 @@ class TestAlgorithms:
         want, _ = pagerank(kron10_csr)
         assert np.abs(got - want).sum() < 1e-6
         assert iters > 1
+
+    def test_kcore_matches_reference(self, kron10_csr, pattern_matrix):
+        from repro.algorithms.kcore import core_numbers
+
+        got = grb_kcore(pattern_matrix)
+        assert np.array_equal(got, core_numbers(kron10_csr))
+        assert np.array_equal(got, grb_kcore(pattern_matrix))
+
+    def test_mis_matches_reference(self, kron10_csr, pattern_matrix):
+        from repro.algorithms.mis import (maximal_independent_set,
+                                          mis_priorities)
+
+        pr = mis_priorities(kron10_csr.n_vertices)
+        got = grb_mis(pattern_matrix, pr)
+        assert np.array_equal(got, maximal_independent_set(kron10_csr))
+        assert np.array_equal(got, grb_mis(pattern_matrix, pr))
+
+    def test_cc_matches_reference(self, kron10_csr, pattern_matrix):
+        from repro.algorithms.cc import afforest
+
+        got = grb_cc(pattern_matrix)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, afforest(kron10_csr))
+        assert np.array_equal(got, grb_cc(pattern_matrix))
+
+    def test_structural_kernels_on_loops_and_duplicates(self):
+        """Self-loops and parallel edges vanish in the simple view."""
+        from repro.algorithms.cc import afforest
+        from repro.algorithms.kcore import core_numbers
+        from repro.algorithms.mis import (maximal_independent_set,
+                                          mis_priorities)
+
+        src = np.array([0, 0, 0, 1, 2, 2, 4])
+        dst = np.array([1, 1, 0, 2, 0, 2, 4])
+        csr = CSRGraph.from_arrays(src, dst, 5)
+        m = GrbMatrix(csr, values=np.ones(csr.n_edges))
+        assert np.array_equal(grb_kcore(m), core_numbers(csr))
+        pr = mis_priorities(5)
+        assert np.array_equal(grb_mis(m, pr),
+                              maximal_independent_set(csr))
+        assert np.array_equal(grb_cc(m), afforest(csr))
 
 
 class TestProfiler:

@@ -1,0 +1,91 @@
+"""Seed-stability of sampled-BC pivot selection across processes.
+
+``bc`` approximates Brandes from a seeded sample of pivot sources
+(``np.random.default_rng(seed).choice(n, size, replace=False)``).  For
+cross-run and cross-machine comparability the sampled pivot set must be
+a pure function of ``(seed, n, n_sources)`` -- no process state, hash
+randomization, or worker identity may leak in.  The golden digest below
+pins the exact pivot set for the default ``seed=27`` at ``n=1024``
+(the scale-10 Kronecker vertex count); fresh interpreter processes and
+a ``jobs=4`` experiment must all reproduce it bit for bit.
+"""
+
+import hashlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.systems import create_system
+
+#: sha256 of the int64 bytes of default_rng(27).choice(1024, 16, False).
+GOLDEN_PIVOT_DIGEST = \
+    "ae21de9ae9369dfff2fe3cb8721b33c00f5a27534718a993d9df915331ba41d2"
+
+#: The pivot ids themselves (sorted), so a digest break is debuggable.
+GOLDEN_PIVOTS = [2, 10, 122, 200, 203, 215, 317, 328, 442, 604, 704,
+                 759, 805, 924, 947, 993]
+
+BC_SEED = 27
+N_SOURCES = 16
+N_VERTICES = 1024
+
+
+def _pivots(n, seed, size):
+    return np.random.default_rng(seed).choice(n, size=size,
+                                              replace=False)
+
+
+def _digest(arr):
+    return hashlib.sha256(np.asarray(arr, dtype=np.int64)
+                          .tobytes()).hexdigest()
+
+
+def test_pivot_digest_matches_golden():
+    pivots = _pivots(N_VERTICES, BC_SEED, N_SOURCES)
+    assert sorted(pivots.tolist()) == GOLDEN_PIVOTS
+    assert _digest(pivots) == GOLDEN_PIVOT_DIGEST
+
+
+def test_pivot_digest_stable_in_fresh_processes():
+    """Two cold interpreters (no shared numpy state) agree bitwise."""
+    script = (
+        "import hashlib, numpy as np\n"
+        f"p = np.random.default_rng({BC_SEED}).choice({N_VERTICES}, "
+        f"size={N_SOURCES}, replace=False)\n"
+        "print(hashlib.sha256(p.astype(np.int64).tobytes())"
+        ".hexdigest())\n")
+    procs = [subprocess.Popen([sys.executable, "-c", script],
+                              stdout=subprocess.PIPE, text=True)
+             for _ in range(2)]
+    digests = [p.communicate()[0].strip() for p in procs]
+    assert all(p.returncode == 0 for p in procs)
+    assert digests == [GOLDEN_PIVOT_DIGEST] * 2
+
+
+def test_bc_scores_bit_identical_across_runs(kron10_dataset):
+    system = create_system("gap", n_threads=32)
+    loaded = system.load(kron10_dataset)
+    first = system.run(loaded, "bc").output["bc"]
+    second = system.run(loaded, "bc").output["bc"]
+    assert first.tobytes() == second.tobytes()
+
+
+@pytest.mark.slow
+def test_bc_experiment_identical_under_four_jobs(tmp_path):
+    """A ``jobs=4`` experiment reproduces the serial run's results.csv
+    byte for byte -- worker processes must not perturb pivot sampling
+    (or anything else that feeds the records)."""
+    from repro.core.config import ExperimentConfig
+    from repro.core.experiment import Experiment
+
+    csvs = {}
+    for jobs in (1, 4):
+        cfg = ExperimentConfig(output_dir=tmp_path / f"jobs{jobs}",
+                               scale=8, n_roots=2, jobs=jobs,
+                               algorithms=("bc",))
+        exp = Experiment(cfg)
+        exp.run_all()
+        csvs[jobs] = (cfg.output_dir / "results.csv").read_bytes()
+    assert csvs[1] == csvs[4]

@@ -236,6 +236,144 @@ def test_bfs_depths_agree_on_directed_patents(patents_dataset,
             f"cit-Patents BFS depths differ: {a} vs {b}"
 
 
+# ----------------------------------------------------------------------
+# Structural kernels: k-core / MIS / CC.  All three are defined on the
+# simple undirected view and have mathematically unique answers (core
+# numbers; greedy-by-priority MIS under the shared seeded priorities;
+# min-member component labels), so every comparison is exact integer
+# equality -- against the reference oracle, pairwise across systems,
+# and across repeated runs (bit-identity).
+# ----------------------------------------------------------------------
+KCORE_SYSTEMS = ("gap", "graphbig", "graphmat", "powergraph")
+MIS_SYSTEMS = ("gap", "graphbig", "graphmat", "powergraph")
+CC_SYSTEMS = ("gap", "graphbig")
+
+
+def _structural_outputs(systems, names, algorithm, key):
+    """Each system's output array, run twice to pin bit-identity."""
+    outs = {}
+    for name in names:
+        system, loaded = systems[name]
+        first = system.run(loaded, algorithm).output[key]
+        second = system.run(loaded, algorithm).output[key]
+        assert np.array_equal(first, second), \
+            f"{name}: {algorithm} not bit-identical across runs"
+        assert first.dtype == np.int64, \
+            f"{name}: {algorithm} must emit int64 {key}"
+        outs[name] = first
+    return outs
+
+
+def test_kcore_agrees_with_oracle_and_pairwise(kron_systems, kron10_csr):
+    from repro.algorithms.kcore import core_numbers
+
+    want = core_numbers(kron10_csr)
+    cores = _structural_outputs(kron_systems, KCORE_SYSTEMS, "kcore",
+                                "core")
+    for name, got in cores.items():
+        assert np.array_equal(got, want), f"{name}: core numbers differ"
+    for a, b in _pairs(KCORE_SYSTEMS):
+        assert np.array_equal(cores[a], cores[b]), \
+            f"k-core differs: {a} vs {b}"
+
+
+def test_mis_agrees_with_oracle_and_pairwise(kron_systems, kron10_csr):
+    from repro.algorithms.mis import maximal_independent_set
+
+    want = maximal_independent_set(kron10_csr).astype(np.int64)
+    sets = _structural_outputs(kron_systems, MIS_SYSTEMS, "mis", "in_set")
+    for name, got in sets.items():
+        assert np.array_equal(got, want), f"{name}: MIS differs"
+    for a, b in _pairs(MIS_SYSTEMS):
+        assert np.array_equal(sets[a], sets[b]), \
+            f"MIS differs: {a} vs {b}"
+
+
+def test_cc_agrees_with_oracle_and_wcc(kron_systems, kron10_csr):
+    """Afforest labels equal the hash-min WCC labels exactly: both are
+    canonical min-member labelings of the same components."""
+    from repro.algorithms.cc import afforest
+
+    want = afforest(kron10_csr)
+    labels = _structural_outputs(kron_systems, CC_SYSTEMS, "cc", "labels")
+    for name, got in labels.items():
+        assert np.array_equal(got, want), f"{name}: CC labels differ"
+    gap_system, gap_loaded = kron_systems["gap"]
+    wcc = gap_system.run(gap_loaded, "wcc").output["labels"]
+    assert np.array_equal(labels["gap"], wcc), \
+        "afforest CC and Shiloach-Vishkin WCC labels diverge"
+
+
+def test_structural_kernels_on_isolated_vertex(isolated_dataset):
+    """Disconnected graph with an isolated max-id vertex: vertex 7 must
+    come back core 0, an MIS member, and its own component."""
+    from repro.algorithms.cc import afforest
+    from repro.algorithms.kcore import core_numbers
+    from repro.algorithms.mis import maximal_independent_set
+    from repro.graph.csr import CSRGraph
+
+    src = np.array([0, 0, 1, 2, 3, 4])
+    dst = np.array([1, 2, 3, 4, 5, 6])
+    ref_csr = CSRGraph.from_arrays(src, dst, 8)
+    refs = {
+        "kcore": ("core", core_numbers(ref_csr)),
+        "mis": ("in_set",
+                maximal_independent_set(ref_csr).astype(np.int64)),
+        "cc": ("labels", afforest(ref_csr)),
+    }
+    assert refs["kcore"][1][ISOLATED_ROOT] == 0
+    assert refs["mis"][1][ISOLATED_ROOT] == 1
+    assert refs["cc"][1][ISOLATED_ROOT] == ISOLATED_ROOT
+
+    matrix = [("kcore", KCORE_SYSTEMS), ("mis", MIS_SYSTEMS),
+              ("cc", CC_SYSTEMS)]
+    for algorithm, names in matrix:
+        key, want = refs[algorithm]
+        for name in names:
+            system = create_system(name, n_threads=32)
+            loaded = system.load(isolated_dataset)
+            got = system.run(loaded, algorithm).output[key]
+            assert np.array_equal(got, want), \
+                f"{name}: {algorithm} differs on the isolated-vertex graph"
+
+
+def test_structural_kernels_on_directed_graph(tmp_path_factory):
+    """Directed input: all three kernels are defined on the simple
+    undirected view, so edge direction must not change any answer."""
+    from repro.algorithms.cc import afforest
+    from repro.algorithms.kcore import core_numbers
+    from repro.algorithms.mis import maximal_independent_set
+    from repro.datasets.homogenize import homogenize
+    from repro.graph.csr import CSRGraph
+    from repro.graph.edgelist import EdgeList
+
+    # 3 is a sink (in-edges only); 5 is isolated with the max id.
+    src = np.array([0, 0, 1, 2, 4])
+    dst = np.array([1, 2, 3, 3, 0])
+    edges = EdgeList(src, dst, 6,
+                     weights=np.array([1.0, 2.0, 1.0, 2.0, 1.0]),
+                     directed=True, name="sink-structural")
+    ds = homogenize(edges, tmp_path_factory.mktemp("sink_structural"),
+                    n_roots=4)
+    ref_csr = CSRGraph.from_arrays(src, dst, 6)
+    refs = {
+        "kcore": ("core", core_numbers(ref_csr)),
+        "mis": ("in_set",
+                maximal_independent_set(ref_csr).astype(np.int64)),
+        "cc": ("labels", afforest(ref_csr)),
+    }
+    matrix = [("kcore", KCORE_SYSTEMS), ("mis", MIS_SYSTEMS),
+              ("cc", CC_SYSTEMS)]
+    for algorithm, names in matrix:
+        key, want = refs[algorithm]
+        for name in names:
+            system = create_system(name, n_threads=32)
+            loaded = system.load(ds)
+            got = system.run(loaded, algorithm).output[key]
+            assert np.array_equal(got, want), \
+                f"{name}: {algorithm} differs on the directed sink graph"
+
+
 def test_sssp_and_pagerank_agree_on_weighted_dota(dota_dataset):
     root = int(dota_dataset.roots[0])
     dists, ranks = {}, {}
