@@ -14,6 +14,14 @@ genuinely distinct implementation, as in the paper).
 from repro.algorithms.bfs import bfs_levels, bfs_parents
 from repro.algorithms.cc import afforest
 from repro.algorithms.cdlp import cdlp
+from repro.algorithms.incremental import (
+    IncrementalBFS,
+    IncrementalPageRank,
+    IncrementalSSSP,
+    RepairStats,
+    pagerank_l1_bound,
+    pagerank_warm,
+)
 from repro.algorithms.kcore import core_numbers, core_numbers_naive
 from repro.algorithms.lcc import local_clustering
 from repro.algorithms.mis import maximal_independent_set, mis_priorities
@@ -36,4 +44,10 @@ __all__ = [
     "maximal_independent_set",
     "mis_priorities",
     "afforest",
+    "IncrementalBFS",
+    "IncrementalSSSP",
+    "IncrementalPageRank",
+    "RepairStats",
+    "pagerank_warm",
+    "pagerank_l1_bound",
 ]

@@ -288,6 +288,42 @@ def _suite_sections(out_dir: Path, scale: int, n_roots: int, seed: int,
         format_table("", [s.upper() for s in _STRUCTURAL_SYSTEMS],
                      struct_rows)))
 
+    # --- streaming ingest + incremental repair (docs/streaming.md) ----
+    # Inline and oracle-checked; every cell below is a deterministic
+    # counter (no wall times), so the section is byte-identical across
+    # --jobs settings and hosts.
+    from repro.streaming import StreamReplay, StreamSpec, build_scenario
+
+    stream_spec = StreamSpec(scale=min(scale, 10), n_batches=4,
+                             batch_edges=32, delete_fraction=0.25,
+                             seed=seed, weighted=True)
+    with tracer.span("experiment:stream", category="experiment",
+                     scale=stream_spec.scale,
+                     n_batches=stream_spec.n_batches):
+        stream_scenario = build_scenario(stream_spec)
+        stream_replay = StreamReplay(stream_scenario, tracer=tracer,
+                                     check=True)
+        stream_rows_raw = stream_replay.run()
+    stream_dir = out_dir / "stream"
+    stream_dir.mkdir(parents=True, exist_ok=True)
+    from repro.streaming import write_results_csv
+
+    write_results_csv(stream_rows_raw,
+                      stream_dir / "stream_results.csv")
+    stream_rows = {
+        f"batch {r.batch}": [
+            str(r.n_inserted), str(r.n_updated), str(r.n_removed),
+            str(r.n_arcs), str(r.bfs_resettled), str(r.sssp_resettled),
+            str(r.pagerank_sweeps), str(r.checked)]
+        for r in stream_rows_raw}
+    sections.append(_section(
+        f"Streaming ingest: incremental repair vs oracle "
+        f"(kron-scale{stream_spec.scale}, "
+        f"{stream_spec.n_batches} batches)",
+        format_table("", ["new", "upd", "del", "arcs", "bfs fix",
+                          "sssp fix", "pr sweeps", "checks"],
+                     stream_rows)))
+
     # --- Graphalytics comparator (Tables I-II, Fig 7) -----------------
     from repro.datasets.homogenize import load_manifest
     from repro.graphalytics import (

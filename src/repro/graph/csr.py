@@ -50,9 +50,25 @@ class CSRGraph:
     @staticmethod
     def from_arrays(src: np.ndarray, dst: np.ndarray, n: int,
                     weights: np.ndarray | None = None) -> "CSRGraph":
-        """Build CSR from parallel endpoint arrays (counting sort)."""
+        """Build CSR from parallel endpoint arrays (counting sort).
+
+        Endpoints are validated against ``[0, n)`` first: an id ``>= n``
+        used to surface as a raw NumPy shape error out of the
+        ``bincount``/``cumsum`` pair, and a *negative* id silently
+        corrupted the counting sort (``bincount`` rejects it only
+        sometimes, and ``row_ptr`` went inconsistent).  Mutation batches
+        arriving from event streams make this path load-bearing.
+        """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
+        for name, arr in (("src", src), ("dst", dst)):
+            if arr.size:
+                bad = (arr < 0) | (arr >= n)
+                if bad.any():
+                    i = int(np.argmax(bad))
+                    raise GraphFormatError(
+                        f"{name}[{i}] = {int(arr[i])}: vertex id out of "
+                        f"range [0, {n})")
         counts = np.bincount(src, minlength=n)
         row_ptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=row_ptr[1:])

@@ -199,15 +199,28 @@ class DCSRMatrix:
         Used by GraphMat PageRank, which runs on the adjacency *pattern*
         (``pattern_only=True`` treats every stored value as 1, as the
         unweighted vertex program does even on a weighted matrix).
+
+        An integer-dtype ``x`` against stored float values promotes the
+        result to ``float64`` (matching :meth:`spmv_min_plus`'s
+        contract); the old ``values.astype(x.dtype)`` silently truncated
+        every weight toward zero instead.  Floating ``x`` keeps the
+        historical dtype and rounding exactly (the kernel gate compares
+        bytes).
         """
+        use_values = self.values is not None and not pattern_only
+        promote = use_values and not np.issubdtype(x.dtype, np.floating)
+        out_dtype = np.dtype(np.float64) if promote else x.dtype
         if not self.nnz:
-            return np.zeros(self.n, dtype=x.dtype)
+            return np.zeros(self.n, dtype=out_dtype)
         terms = x[self.col_idx]
-        if self.values is not None and not pattern_only:
-            terms = terms * self.values.astype(x.dtype, copy=False)
+        if use_values:
+            if promote:
+                terms = terms * self.values
+            else:
+                terms = terms * self.values.astype(x.dtype, copy=False)
         sums = np.add.reduceat(terms, self.row_ptr[:-1])
-        y = np.zeros(self.n, dtype=x.dtype)
-        y[self.row_ids] = sums.astype(x.dtype, copy=False)
+        y = np.zeros(self.n, dtype=out_dtype)
+        y[self.row_ids] = sums.astype(out_dtype, copy=False)
         return y
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -242,7 +242,17 @@ class BucketQueue:
         boolean mask *per distinct key* a groupby-by-masking costs --
         the difference between winning and losing to the ``O(n)``
         re-scan baseline on skewed degree distributions.
+
+        ``vertices`` and ``keys`` must align: a longer ``vertices``
+        array used to silently drop its tail after the
+        ``vertices[order]`` fancy-indexing, violating the documented
+        pending-list invariant (a vertex with a live key but no pending
+        entry is never popped).
         """
+        if vertices.size != keys.size:
+            raise ConfigError(
+                f"BucketQueue.push: vertices.size ({vertices.size}) != "
+                f"keys.size ({keys.size})")
         if keys.size == 0:
             return
         order = np.argsort(keys, kind="stable")

@@ -1,0 +1,29 @@
+"""Streaming ingest scenarios: seeded event streams over dynamic graphs.
+
+Builds deterministic insert/delete event streams out of the Kronecker
+generator (:mod:`repro.streaming.scenario`) and replays them through the
+dynamic graph + incremental kernels with tracing, metrics, and optional
+from-scratch oracle checking (:mod:`repro.streaming.replay`).  The CLI
+front-end is ``epg stream``; the differential performance gate is
+``benchmarks/bench_stream.py``.  See ``docs/streaming.md``.
+"""
+
+from repro.streaming.replay import (
+    BatchResult,
+    StreamReplay,
+    write_results_csv,
+)
+from repro.streaming.scenario import (
+    StreamScenario,
+    StreamSpec,
+    build_scenario,
+)
+
+__all__ = [
+    "StreamSpec",
+    "StreamScenario",
+    "build_scenario",
+    "StreamReplay",
+    "BatchResult",
+    "write_results_csv",
+]

@@ -1,0 +1,277 @@
+"""Differential tests for the incremental kernels.
+
+BFS and SSSP repairs must be **bit-identical** to the from-scratch
+references after every batch; warm PageRank must stay within the
+contraction bound of the cold result.  Cases cover the repair paths
+individually (cut tree arcs, disconnection, reconnection, weight
+changes, pure inserts) plus randomized chains, both directed and via
+hypothesis-driven interleavings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import bfs_parents
+from repro.algorithms.incremental import (
+    IncrementalBFS,
+    IncrementalPageRank,
+    IncrementalSSSP,
+    RepairStats,
+    pagerank_l1_bound,
+    pagerank_warm,
+)
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp_dijkstra
+from repro.errors import ValidationError
+from repro.graph.dynamic import DynamicGraph, MutationBatch
+
+
+def _batch(ins=(), dels=(), w=None):
+    ins = list(ins)
+    dels = list(dels)
+    return MutationBatch(
+        insert_src=np.array([e[0] for e in ins], dtype=np.int64),
+        insert_dst=np.array([e[1] for e in ins], dtype=np.int64),
+        insert_weights=None if w is None else np.asarray(w, np.float64),
+        delete_src=np.array([e[0] for e in dels], dtype=np.int64),
+        delete_dst=np.array([e[1] for e in dels], dtype=np.int64))
+
+
+def assert_bfs_matches(kernel, snap, root):
+    p_ref, l_ref = bfs_parents(snap, root)
+    assert kernel.level.tobytes() == l_ref.tobytes()
+    assert kernel.parent.tobytes() == p_ref.tobytes()
+
+
+def assert_sssp_matches(kernel, snap, root):
+    d_ref = sssp_dijkstra(snap, root)
+    assert kernel.dist.tobytes() == d_ref.tobytes()
+
+
+class TestIncrementalBFS:
+    def test_insert_only_shortens_paths(self):
+        g = DynamicGraph(6)
+        g.apply(_batch(ins=[(0, 1), (1, 2), (2, 3), (3, 4)]))
+        k = IncrementalBFS(g.snapshot(), 0)
+        applied = g.apply(_batch(ins=[(0, 4)]))
+        snap = g.snapshot()
+        stats = k.update(snap, applied)
+        assert isinstance(stats, RepairStats)
+        assert_bfs_matches(k, snap, 0)
+        assert k.level[4] == 1
+
+    def test_cut_tree_arc_orphans_subtree(self):
+        # 0 -> 1 -> 2 -> 3 with a backup path 0 -> 4 -> 2.
+        g = DynamicGraph(5)
+        g.apply(_batch(ins=[(0, 1), (1, 2), (2, 3), (0, 4), (4, 2)]))
+        k = IncrementalBFS(g.snapshot(), 0)
+        applied = g.apply(_batch(dels=[(1, 2)]))
+        snap = g.snapshot()
+        stats = k.update(snap, applied)
+        assert stats.n_cut == 1
+        assert_bfs_matches(k, snap, 0)
+        assert k.level[2] == 2 and k.parent[2] == 4
+
+    def test_disconnect_then_reconnect(self):
+        g = DynamicGraph(4)
+        g.apply(_batch(ins=[(0, 1), (1, 2), (2, 3)]))
+        k = IncrementalBFS(g.snapshot(), 0)
+        applied = g.apply(_batch(dels=[(1, 2)]))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_bfs_matches(k, snap, 0)
+        assert k.level[2] == -1 and k.level[3] == -1
+        applied = g.apply(_batch(ins=[(0, 3), (3, 2)]))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_bfs_matches(k, snap, 0)
+        assert k.level[3] == 1 and k.level[2] == 2
+
+    def test_parent_tiebreak_min_witness(self):
+        # Both 1 and 2 reach 3 at the same level; 1 must win.
+        g = DynamicGraph(4)
+        g.apply(_batch(ins=[(0, 1), (0, 2), (2, 3)]))
+        k = IncrementalBFS(g.snapshot(), 0)
+        applied = g.apply(_batch(ins=[(1, 3)]))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_bfs_matches(k, snap, 0)
+        assert k.parent[3] == 1
+
+    def test_empty_batch_is_noop(self):
+        g = DynamicGraph(4)
+        g.apply(_batch(ins=[(0, 1)]))
+        k = IncrementalBFS(g.snapshot(), 0)
+        applied = g.apply(_batch())
+        snap = g.snapshot()
+        stats = k.update(snap, applied)
+        assert stats == RepairStats(0, 0, 0)
+        assert_bfs_matches(k, snap, 0)
+
+    def test_random_chain_bit_identical(self):
+        rng = np.random.default_rng(11)
+        for trial in range(10):
+            n = int(rng.integers(5, 40))
+            g = DynamicGraph(n)
+            m0 = int(rng.integers(n, 3 * n))
+            g.apply(_batch(ins=list(zip(rng.integers(0, n, m0),
+                                        rng.integers(0, n, m0)))))
+            root = int(rng.integers(0, n))
+            k = IncrementalBFS(g.snapshot(), root)
+            for _ in range(6):
+                ki = int(rng.integers(0, 8))
+                kd = int(rng.integers(0, 8))
+                applied = g.apply(_batch(
+                    ins=list(zip(rng.integers(0, n, ki),
+                                 rng.integers(0, n, ki))),
+                    dels=list(zip(rng.integers(0, n, kd),
+                                  rng.integers(0, n, kd)))))
+                snap = g.snapshot()
+                k.update(snap, applied)
+                assert_bfs_matches(k, snap, root)
+
+
+class TestIncrementalSSSP:
+    def test_requires_weights(self):
+        g = DynamicGraph(3)
+        g.apply(_batch(ins=[(0, 1)]))
+        with pytest.raises(ValidationError, match="weighted"):
+            IncrementalSSSP(g.snapshot(), 0)
+
+    def test_weight_decrease_propagates(self):
+        g = DynamicGraph(4, weighted=True)
+        g.apply(_batch(ins=[(0, 1), (1, 2), (2, 3)], w=[1.0, 5.0, 1.0]))
+        k = IncrementalSSSP(g.snapshot(), 0)
+        applied = g.apply(_batch(ins=[(1, 2)], w=[0.5]))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_sssp_matches(k, snap, 0)
+        assert k.dist[3] == 1.0 + 0.5 + 1.0
+
+    def test_weight_increase_on_tree_arc_reroutes(self):
+        g = DynamicGraph(4, weighted=True)
+        g.apply(_batch(ins=[(0, 1), (1, 2), (0, 2)], w=[1.0, 1.0, 9.0]))
+        k = IncrementalSSSP(g.snapshot(), 0)
+        assert k.dist[2] == 2.0
+        # Raising (1,2) makes the direct arc the shortest path.
+        applied = g.apply(_batch(ins=[(1, 2)], w=[100.0]))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_sssp_matches(k, snap, 0)
+        assert k.dist[2] == 9.0
+
+    def test_delete_disconnects(self):
+        g = DynamicGraph(3, weighted=True)
+        g.apply(_batch(ins=[(0, 1), (1, 2)], w=[1.0, 1.0]))
+        k = IncrementalSSSP(g.snapshot(), 0)
+        applied = g.apply(_batch(dels=[(1, 2)]))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_sssp_matches(k, snap, 0)
+        assert np.isinf(k.dist[2]) and k.parent[2] == -1
+
+    def test_random_chain_bit_identical(self):
+        rng = np.random.default_rng(13)
+        for trial in range(10):
+            n = int(rng.integers(5, 40))
+            g = DynamicGraph(n, weighted=True)
+            m0 = int(rng.integers(n, 3 * n))
+            g.apply(_batch(ins=list(zip(rng.integers(0, n, m0),
+                                        rng.integers(0, n, m0))),
+                           w=rng.uniform(0.1, 2.0, m0)))
+            root = int(rng.integers(0, n))
+            k = IncrementalSSSP(g.snapshot(), root)
+            for _ in range(6):
+                ki = int(rng.integers(0, 8))
+                kd = int(rng.integers(0, 8))
+                applied = g.apply(_batch(
+                    ins=list(zip(rng.integers(0, n, ki),
+                                 rng.integers(0, n, ki))),
+                    w=rng.uniform(0.1, 2.0, ki),
+                    dels=list(zip(rng.integers(0, n, kd),
+                                  rng.integers(0, n, kd)))))
+                snap = g.snapshot()
+                k.update(snap, applied)
+                assert_sssp_matches(k, snap, root)
+
+
+class TestIncrementalPageRank:
+    def test_warm_start_within_bound(self):
+        g = DynamicGraph(32)
+        rng = np.random.default_rng(5)
+        g.apply(_batch(ins=list(zip(rng.integers(0, 32, 96),
+                                    rng.integers(0, 32, 96)))))
+        k = IncrementalPageRank(g.snapshot())
+        applied = g.apply(_batch(ins=[(0, 1), (5, 9)],
+                                 dels=[(1, 0)]))
+        snap = g.snapshot()
+        sweeps = k.update(snap, applied)
+        cold, cold_sweeps = pagerank(snap)
+        assert float(np.abs(k.rank - cold).sum()) <= pagerank_l1_bound()
+        assert sweeps <= cold_sweeps
+        assert k.rank.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_warm_shape_mismatch_rejected(self):
+        g = DynamicGraph(4)
+        g.apply(_batch(ins=[(0, 1)]))
+        with pytest.raises(ValidationError, match="shape"):
+            pagerank_warm(g.snapshot(), np.ones(3) / 3)
+
+    def test_warm_from_cold_converges_in_one_sweep_region(self):
+        g = DynamicGraph(16)
+        rng = np.random.default_rng(3)
+        g.apply(_batch(ins=list(zip(rng.integers(0, 16, 48),
+                                    rng.integers(0, 16, 48)))))
+        snap = g.snapshot()
+        cold, _ = pagerank(snap)
+        rank, sweeps = pagerank_warm(snap, cold)
+        assert sweeps <= 2
+        assert float(np.abs(rank - cold).sum()) <= pagerank_l1_bound()
+
+    def test_bound_formula(self):
+        assert pagerank_l1_bound(0.85, 6e-8) == pytest.approx(
+            2 * 6e-8 * 0.85 / 0.15)
+
+
+@st.composite
+def mutation_chains(draw, max_n=20):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m0 = draw(st.integers(min_value=1, max_value=3 * n))
+    pairs = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+    base = draw(st.lists(pairs, min_size=m0, max_size=m0))
+    steps = draw(st.lists(
+        st.tuples(st.lists(pairs, max_size=6), st.lists(pairs, max_size=6)),
+        min_size=1, max_size=4))
+    root = draw(st.integers(0, n - 1))
+    return n, base, steps, root
+
+
+@given(mutation_chains())
+@settings(max_examples=40, deadline=None)
+def test_bfs_repair_bit_identical_hypothesis(case):
+    n, base, steps, root = case
+    g = DynamicGraph(n)
+    g.apply(_batch(ins=base))
+    k = IncrementalBFS(g.snapshot(), root)
+    for ins, dels in steps:
+        applied = g.apply(_batch(ins=ins, dels=dels))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_bfs_matches(k, snap, root)
+
+
+@given(mutation_chains(), st.randoms(use_true_random=False))
+@settings(max_examples=30, deadline=None)
+def test_sssp_repair_bit_identical_hypothesis(case, rnd):
+    n, base, steps, root = case
+    g = DynamicGraph(n, weighted=True)
+    g.apply(_batch(ins=base, w=[rnd.uniform(0.1, 2.0) for _ in base]))
+    k = IncrementalSSSP(g.snapshot(), root)
+    for ins, dels in steps:
+        applied = g.apply(_batch(
+            ins=ins, w=[rnd.uniform(0.1, 2.0) for _ in ins], dels=dels))
+        snap = g.snapshot()
+        k.update(snap, applied)
+        assert_sssp_matches(k, snap, root)

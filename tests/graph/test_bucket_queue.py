@@ -124,3 +124,43 @@ def test_empty_queue_pops_none():
     assert bq.pop(np.empty(0, dtype=np.int64)) is None
     bq.push(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
     assert bq.pop(np.empty(0, dtype=np.int64)) is None
+
+
+class TestPushAlignment:
+    """Regression: misaligned push arrays must raise, not drop entries.
+
+    A longer ``vertices`` array used to silently lose its tail after
+    the ``vertices[order]`` fancy-indexing, leaving vertices with a
+    live key but no pending entry -- they were never popped.
+    """
+
+    def test_longer_vertices_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        bq = BucketQueue()
+        with pytest.raises(ConfigError, match=r"3.*!=.*2"):
+            bq.push(np.array([0, 1, 2], dtype=np.int64),
+                    np.array([4, 4], dtype=np.int64))
+
+    def test_longer_vertices_with_empty_keys_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        bq = BucketQueue()
+        # The old early-return on empty keys masked the mismatch.
+        with pytest.raises(ConfigError):
+            bq.push(np.array([0, 1], dtype=np.int64),
+                    np.empty(0, dtype=np.int64))
+
+    def test_longer_keys_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        bq = BucketQueue()
+        with pytest.raises(ConfigError):
+            bq.push(np.array([0], dtype=np.int64),
+                    np.array([1, 2], dtype=np.int64))

@@ -95,3 +95,35 @@ class TestDerived:
         back = CSRGraph.from_arrays(src, dst, csr.n_vertices)
         assert np.array_equal(back.col_idx, csr.col_idx)
         assert np.array_equal(back.row_ptr, csr.row_ptr)
+
+
+class TestEndpointValidation:
+    """Regression: out-of-range endpoints must raise GraphFormatError.
+
+    An id ``>= n`` used to surface as a raw NumPy shape error out of
+    the bincount/cumsum pair; a *negative* id silently corrupted the
+    counting sort into an inconsistent row_ptr.
+    """
+
+    def test_src_at_or_above_n_rejected_with_index(self):
+        with pytest.raises(GraphFormatError,
+                           match=r"src\[1\] = 50.*\[0, 5\)"):
+            CSRGraph.from_arrays(np.array([0, 50]), np.array([1, 2]), 5)
+
+    def test_negative_dst_rejected_with_index(self):
+        with pytest.raises(GraphFormatError,
+                           match=r"dst\[0\] = -2"):
+            CSRGraph.from_arrays(np.array([0]), np.array([-2]), 5)
+
+    def test_negative_src_no_longer_corrupts_silently(self):
+        with pytest.raises(GraphFormatError, match=r"src\[2\] = -1"):
+            CSRGraph.from_arrays(np.array([0, 1, -1]),
+                                 np.array([1, 2, 0]), 4)
+
+    def test_dst_equal_n_rejected(self):
+        with pytest.raises(GraphFormatError, match=r"dst\[0\] = 3"):
+            CSRGraph.from_arrays(np.array([0]), np.array([3]), 3)
+
+    def test_boundary_ids_accepted(self):
+        csr = CSRGraph.from_arrays(np.array([0, 3]), np.array([3, 0]), 4)
+        assert csr.n_edges == 2

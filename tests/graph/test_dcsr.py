@@ -97,3 +97,46 @@ class TestSemiringSpMV:
         assert not d.spmv_or_and(np.ones(3, dtype=bool)).any()
         assert np.isinf(d.spmv_min_plus(np.zeros(3))).all()
         assert not d.spmv_plus_times(np.ones(3)).any()
+
+
+class TestPlusTimesDtype:
+    """Regression: integer-dtype x against float values must promote.
+
+    ``values.astype(x.dtype)`` used to truncate every stored weight
+    toward zero, so an all-ones int vector against 0.5-weighted rows
+    summed to 0 instead of the weighted row sums.
+    """
+
+    def _weighted(self):
+        return DCSRMatrix(
+            n=4,
+            row_ids=np.array([0, 2]),
+            row_ptr=np.array([0, 2, 3]),
+            col_idx=np.array([1, 3, 0]),
+            values=np.array([0.5, 0.25, 1.5]))
+
+    def test_integer_x_promotes_to_float64(self):
+        d = self._weighted()
+        y = d.spmv_plus_times(np.ones(4, dtype=np.int64))
+        assert y.dtype == np.float64
+        assert y.tolist() == [0.75, 0.0, 1.5, 0.0]
+
+    def test_integer_x_pattern_only_keeps_int(self):
+        d = self._weighted()
+        y = d.spmv_plus_times(np.ones(4, dtype=np.int64),
+                              pattern_only=True)
+        assert y.dtype == np.int64
+        assert y.tolist() == [2, 0, 1, 0]
+
+    def test_float_x_dtype_unchanged(self):
+        d = self._weighted()
+        y32 = d.spmv_plus_times(np.ones(4, dtype=np.float32))
+        assert y32.dtype == np.float32
+
+    def test_integer_x_empty_matrix_promotes(self):
+        d = DCSRMatrix(n=3, row_ids=np.empty(0, dtype=np.int64),
+                       row_ptr=np.zeros(1, dtype=np.int64),
+                       col_idx=np.empty(0, dtype=np.int64),
+                       values=np.empty(0))
+        y = d.spmv_plus_times(np.ones(3, dtype=np.int64))
+        assert y.dtype == np.float64 and y.tolist() == [0.0, 0.0, 0.0]

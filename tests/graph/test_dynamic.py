@@ -1,0 +1,264 @@
+"""Property + unit tests for the dynamic graph (mutation-log ingest).
+
+The load-bearing property: after ANY interleaving of insert/delete
+batches -- duplicates, self-loops, weight overwrites, deletes of absent
+arcs included -- :meth:`DynamicGraph.snapshot` is **byte-identical** to
+``CSRGraph.from_arrays`` over the replayed arc set.  The reference
+model is a plain dict ``{(src, dst): weight}`` replaying the same
+semantics (deletes first, last-write-wins inserts).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import (
+    AppliedBatch,
+    DynamicGraph,
+    MutationBatch,
+    MutationLog,
+)
+from repro.graph.edgelist import EdgeList
+
+
+def model_apply(model: dict, batch: MutationBatch) -> None:
+    """Dict-based oracle: deletes first, then last-write-wins inserts."""
+    for u, v in zip(batch.delete_src.tolist(), batch.delete_dst.tolist()):
+        model.pop((u, v), None)
+    w = batch.insert_weights
+    for i, (u, v) in enumerate(zip(batch.insert_src.tolist(),
+                                   batch.insert_dst.tolist())):
+        model[(u, v)] = None if w is None else float(w[i])
+
+
+def model_csr(model: dict, n: int, weighted: bool) -> CSRGraph:
+    items = sorted(model.items())
+    src = np.array([k[0] for k, _ in items], dtype=np.int64)
+    dst = np.array([k[1] for k, _ in items], dtype=np.int64)
+    weights = (np.array([v for _, v in items], dtype=np.float64)
+               if weighted else None)
+    return CSRGraph.from_arrays(src, dst, n, weights=weights)
+
+
+def assert_snapshots_equal(got: CSRGraph, want: CSRGraph) -> None:
+    assert got.row_ptr.tobytes() == want.row_ptr.tobytes()
+    assert got.col_idx.tobytes() == want.col_idx.tobytes()
+    if want.weights is None:
+        assert got.weights is None
+    else:
+        assert got.weights.tobytes() == want.weights.tobytes()
+
+
+@st.composite
+def batch_sequences(draw, max_n=24, max_batches=6, max_ops=20):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    weighted = draw(st.booleans())
+    n_batches = draw(st.integers(min_value=1, max_value=max_batches))
+    batches = []
+    for _ in range(n_batches):
+        ki = draw(st.integers(min_value=0, max_value=max_ops))
+        kd = draw(st.integers(min_value=0, max_value=max_ops))
+        ins_s = draw(st.lists(st.integers(0, n - 1), min_size=ki,
+                              max_size=ki))
+        ins_d = draw(st.lists(st.integers(0, n - 1), min_size=ki,
+                              max_size=ki))
+        del_s = draw(st.lists(st.integers(0, n - 1), min_size=kd,
+                              max_size=kd))
+        del_d = draw(st.lists(st.integers(0, n - 1), min_size=kd,
+                              max_size=kd))
+        w = None
+        if weighted:
+            w = np.array(draw(st.lists(
+                st.floats(0.001, 10.0, allow_nan=False),
+                min_size=ki, max_size=ki)))
+        batches.append(MutationBatch(
+            insert_src=np.array(ins_s, dtype=np.int64),
+            insert_dst=np.array(ins_d, dtype=np.int64),
+            insert_weights=w,
+            delete_src=np.array(del_s, dtype=np.int64),
+            delete_dst=np.array(del_d, dtype=np.int64)))
+    return n, weighted, batches
+
+
+@given(batch_sequences())
+@settings(max_examples=80, deadline=None)
+def test_snapshot_byte_identical_to_rebuild(case):
+    """The tentpole property: snapshot == from_arrays over the replay."""
+    n, weighted, batches = case
+    g = DynamicGraph(n, weighted=weighted)
+    model: dict = {}
+    for batch in batches:
+        g.apply(batch)
+        model_apply(model, batch)
+        assert_snapshots_equal(g.snapshot(), model_csr(model, n, weighted))
+
+
+@given(batch_sequences(max_batches=4))
+@settings(max_examples=40, deadline=None)
+def test_snapshots_immutable_under_later_batches(case):
+    """Copy-on-write: an old snapshot never changes, byte for byte."""
+    n, weighted, batches = case
+    g = DynamicGraph(n, weighted=weighted)
+    taken = []
+    for batch in batches:
+        g.apply(batch)
+        snap = g.snapshot()
+        taken.append((snap, snap.row_ptr.copy(), snap.col_idx.copy(),
+                      None if snap.weights is None
+                      else snap.weights.copy()))
+    for snap, rp, ci, w in taken:
+        assert snap.row_ptr.tobytes() == rp.tobytes()
+        assert snap.col_idx.tobytes() == ci.tobytes()
+        if w is not None:
+            assert snap.weights.tobytes() == w.tobytes()
+
+
+@given(batch_sequences(max_batches=3))
+@settings(max_examples=40, deadline=None)
+def test_applied_delta_reconstructs_arc_set(case):
+    """inserted/removed arc sets replayed on a dict match the graph."""
+    n, weighted, batches = case
+    g = DynamicGraph(n, weighted=weighted)
+    arcs: set = set()
+    for batch in batches:
+        applied = g.apply(batch)
+        arcs -= set(zip(applied.removed_src.tolist(),
+                        applied.removed_dst.tolist()))
+        arcs |= set(zip(applied.inserted_src.tolist(),
+                        applied.inserted_dst.tolist()))
+        src, dst, _ = g.arcs()
+        assert arcs == set(zip(src.tolist(), dst.tolist()))
+
+
+class TestSemantics:
+    def test_delete_of_absent_is_noop(self):
+        g = DynamicGraph(4)
+        g.apply(MutationBatch(insert_src=[0], insert_dst=[1]))
+        applied = g.apply(MutationBatch(delete_src=[2, 0],
+                                        delete_dst=[3, 1]))
+        assert applied.n_deleted == 1
+        assert applied.removed_src.tolist() == [0]
+        assert g.n_arcs == 0
+
+    def test_duplicate_insert_last_write_wins(self):
+        g = DynamicGraph(4, weighted=True)
+        applied = g.apply(MutationBatch(
+            insert_src=[1, 1], insert_dst=[2, 2],
+            insert_weights=[5.0, 7.0]))
+        assert applied.n_new == 1
+        _, _, w = g.arcs()
+        assert w.tolist() == [7.0]
+
+    def test_reinsert_overwrites_weight_and_reports_removed(self):
+        g = DynamicGraph(4, weighted=True)
+        g.apply(MutationBatch(insert_src=[1], insert_dst=[2],
+                              insert_weights=[5.0]))
+        applied = g.apply(MutationBatch(insert_src=[1], insert_dst=[2],
+                                        insert_weights=[6.0]))
+        assert applied.n_new == 0
+        assert applied.n_updated == 1
+        # A weight change is a remove + insert for path repair.
+        assert applied.removed_src.tolist() == [1]
+        assert applied.inserted_src.tolist() == [1]
+
+    def test_same_weight_reinsert_not_removed(self):
+        g = DynamicGraph(4, weighted=True)
+        g.apply(MutationBatch(insert_src=[1], insert_dst=[2],
+                              insert_weights=[5.0]))
+        applied = g.apply(MutationBatch(insert_src=[1], insert_dst=[2],
+                                        insert_weights=[5.0]))
+        assert applied.n_updated == 1
+        assert applied.removed_src.size == 0
+
+    def test_delete_then_reinsert_in_one_batch(self):
+        g = DynamicGraph(4)
+        g.apply(MutationBatch(insert_src=[1], insert_dst=[2]))
+        applied = g.apply(MutationBatch(
+            insert_src=[1], insert_dst=[2],
+            delete_src=[1], delete_dst=[2]))
+        # Deletes first: the arc is removed, then re-inserted fresh.
+        assert applied.n_deleted == 1 and applied.n_new == 1
+        assert g.has_arc(1, 2)
+
+    def test_self_loops_stored(self):
+        g = DynamicGraph(3)
+        g.apply(MutationBatch(insert_src=[2], insert_dst=[2]))
+        assert g.has_arc(2, 2)
+        snap = g.snapshot()
+        assert snap.neighbors(2).tolist() == [2]
+
+    def test_symmetrized_batch(self):
+        b = MutationBatch(insert_src=[0, 1], insert_dst=[1, 1],
+                          delete_src=[2], delete_dst=[3]).symmetrized()
+        assert sorted(zip(b.insert_src.tolist(),
+                          b.insert_dst.tolist())) == [(0, 1), (1, 0),
+                                                      (1, 1)]
+        assert sorted(zip(b.delete_src.tolist(),
+                          b.delete_dst.tolist())) == [(2, 3), (3, 2)]
+
+    def test_from_edge_list_dedupes(self):
+        el = EdgeList(np.array([0, 0]), np.array([1, 1]), 3,
+                      weights=np.array([1.0, 2.0]))
+        g = DynamicGraph.from_edge_list(el)
+        assert g.n_arcs == 1
+        _, _, w = g.arcs()
+        assert w.tolist() == [2.0]     # last write wins
+
+
+class TestValidation:
+    def test_insert_id_out_of_range_names_index(self):
+        g = DynamicGraph(8)
+        with pytest.raises(GraphFormatError,
+                           match=r"insert src\[1\] = 41"):
+            g.apply(MutationBatch(insert_src=[0, 41],
+                                  insert_dst=[1, 2]))
+
+    def test_negative_delete_id_names_index(self):
+        g = DynamicGraph(8)
+        with pytest.raises(GraphFormatError,
+                           match=r"delete dst\[0\] = -3"):
+            g.apply(MutationBatch(delete_src=[0], delete_dst=[-3]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphFormatError, match="mismatch"):
+            MutationBatch(insert_src=[0, 1], insert_dst=[1])
+
+    def test_weights_required_iff_weighted(self):
+        g = DynamicGraph(4, weighted=True)
+        with pytest.raises(GraphFormatError, match="insert_weights"):
+            g.apply(MutationBatch(insert_src=[0], insert_dst=[1]))
+        g2 = DynamicGraph(4)
+        with pytest.raises(GraphFormatError, match="unweighted"):
+            g2.apply(MutationBatch(insert_src=[0], insert_dst=[1],
+                                   insert_weights=[1.0]))
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(GraphFormatError, match="insert_weights"):
+            MutationBatch(insert_src=[0, 1], insert_dst=[1, 2],
+                          insert_weights=[1.0])
+
+
+class TestMutationLog:
+    def test_replay_yields_applied_batches(self):
+        log = MutationLog([
+            MutationBatch(insert_src=[0, 1], insert_dst=[1, 2]),
+            MutationBatch(delete_src=[0], delete_dst=[1]),
+        ])
+        g = DynamicGraph(4)
+        out = list(log.replay(g))
+        assert len(out) == 2
+        assert all(isinstance(a, AppliedBatch) for _, a in out)
+        assert out[0][1].n_new == 2
+        assert out[1][1].n_deleted == 1
+        assert g.n_arcs == 1
+
+    def test_append_and_index(self):
+        log = MutationLog()
+        assert len(log) == 0
+        b = MutationBatch(insert_src=[0], insert_dst=[1])
+        log.append(b)
+        assert len(log) == 1 and log[0] is b
+        assert list(iter(log)) == [b]

@@ -254,3 +254,31 @@ def test_reproduce_with_cache_dir(tmp_path, capsys):
         return doc
 
     assert provenance("a") == provenance("b")
+
+
+def test_stream_command(tmp_path, capsys):
+    out = tmp_path / "stream"
+    assert main(["stream", "--output", str(out), "--scale", "8",
+                 "--batches", "3", "--batch-edges", "24",
+                 "--check", "--trace"]) == 0
+    captured = capsys.readouterr().out
+    assert "3 batches" in captured
+    assert "oracle checks passed" in captured
+    csv = out / "stream_results.csv"
+    assert csv.is_file()
+    assert len(csv.read_text().strip().splitlines()) == 4
+    assert main(["trace", str(out), "--validate"]) == 0
+    assert "stream" in capsys.readouterr().out
+
+
+def test_stream_unweighted_excludes_sssp(tmp_path, capsys):
+    assert main(["stream", "--output", str(tmp_path / "s"),
+                 "--scale", "8", "--unweighted"]) == 2  # ConfigError
+    assert "sssp" in capsys.readouterr().err
+
+
+def test_stream_unweighted_bfs_pagerank(tmp_path, capsys):
+    assert main(["stream", "--output", str(tmp_path / "s"),
+                 "--scale", "8", "--batches", "2", "--unweighted",
+                 "--algorithms", "bfs", "pagerank", "--check"]) == 0
+    assert "oracle checks passed" in capsys.readouterr().out
