@@ -120,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the run phase "
                              "(default: one per CPU core; results are "
                              "identical at any value)")
+        sp.add_argument("--shards", type=int, default=1,
+                        help="worker processes per kernel execution "
+                             "(sharded engine; outputs are "
+                             "bit-identical at any value, see "
+                             "docs/sharding.md)")
         sp.add_argument("--cache-dir", type=Path, default=None,
                         help="persistent artifact cache directory "
                              "(byte-transparent; see docs/cache.md)")
@@ -189,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes for experiment cells "
                          "(default: one per CPU core; the report is "
                          "byte-identical at any value)")
+    sp.add_argument("--shards", type=int, default=1,
+                    help="worker processes per kernel execution "
+                         "(the report is byte-identical at any value; "
+                         "see docs/sharding.md)")
     sp.add_argument("--cache-dir", type=Path, default=None,
                     help="persistent artifact cache directory "
                          "(byte-transparent; see docs/cache.md)")
@@ -298,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--port", type=int, default=8750)
     sp.add_argument("--workers", type=int, default=2,
                     help="kernel worker threads")
+    sp.add_argument("--shards", type=int, default=1,
+                    help="worker processes per kernel execution in "
+                         "the batch executor (bit-identical results; "
+                         "see docs/sharding.md)")
     sp.add_argument("--max-queue", type=int, default=16,
                     help="admission queue bound; excess queries get 503")
     sp.add_argument("--max-inflight", type=int, default=4,
@@ -395,6 +408,7 @@ def _config_from_args(args) -> ExperimentConfig:
         cell_timeout_s=args.cell_timeout,
         fault_spec=args.fault_spec,
         jobs=resolve_jobs(args.jobs),
+        shards=args.shards,
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
     )
@@ -509,6 +523,7 @@ def _dispatch(args) -> int:
                                  fault_spec=args.fault_spec,
                                  trace=args.trace,
                                  jobs=resolve_jobs(args.jobs),
+                                 shards=args.shards,
                                  cache_dir=args.cache_dir,
                                  cache_max_bytes=args.cache_max_bytes)
         print(f"wrote {report}")
@@ -651,6 +666,7 @@ def _dispatch(args) -> int:
         cfg = ServeConfig(
             data_dir=args.data_dir, graphs=tuple(args.graphs),
             host=args.host, port=args.port, workers=args.workers,
+            shards=args.shards,
             max_queue=args.max_queue, max_inflight=args.max_inflight,
             request_timeout_s=args.request_timeout,
             wedge_timeout_s=args.wedge_timeout,

@@ -78,6 +78,12 @@ class ExperimentConfig:
     #: count is an execution detail that must not perturb checkpoint
     #: digests or provenance (results are identical at any level).
     jobs: int | None = None
+    #: Worker processes *inside* one kernel execution (``epg run
+    #: --shards``): the sharded engine splits each BFS/SSSP query
+    #: across this many cores.  Like ``jobs``, an execution detail
+    #: excluded from :meth:`to_dict` -- sharded outputs, profiles, and
+    #: reports are bit-identical to the serial kernels.
+    shards: int = 1
     #: Artifact cache master switch.  Like ``jobs``, the cache knobs are
     #: execution details: the cache is byte-transparent, so they are
     #: excluded from :meth:`to_dict` and never perturb provenance.
@@ -125,6 +131,8 @@ class ExperimentConfig:
             parse_fault_spec(self.fault_spec)  # raises ConfigError if bad
         if self.jobs is not None and self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
         if self.cache_max_bytes is not None and self.cache_max_bytes < 1:

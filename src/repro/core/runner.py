@@ -169,7 +169,8 @@ class Runner:
         else:
             system = create_system(system_name,
                                    machine=self.config.machine,
-                                   n_threads=n_threads)
+                                   n_threads=n_threads,
+                                   shards=self.config.shards)
             if not system.supports(algorithm):
                 return None
             try:

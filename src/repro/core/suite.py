@@ -75,6 +75,7 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
                     fault_spec: str | None = None,
                     trace: bool = False,
                     jobs: int | None = None,
+                    shards: int = 1,
                     cache_dir: str | Path | None = None,
                     cache_max_bytes: int | None = None) -> Path:
     """Run everything; return the REPORT.md path.
@@ -94,6 +95,10 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
     (``epg reproduce --cache-dir``); ``cache_max_bytes`` sets its LRU
     garbage-collection budget.  The cache is byte-transparent (see
     ``docs/cache.md``), so warm and cold reports are identical.
+    ``shards`` greater than one splits each BFS/SSSP kernel execution
+    across that many worker processes (``epg reproduce --shards``;
+    see ``docs/sharding.md``) -- like ``jobs`` and the cache, an
+    execution detail that never changes a reported byte.
     """
     from repro.parallel import CellPool, resolve_jobs
 
@@ -109,13 +114,14 @@ def run_paper_suite(out_dir: str | Path, scale: int = 12,
         "scale": scale, "n_roots": n_roots, "seed": seed,
         "render_svg": render_svg, "max_retries": max_retries,
         "cell_timeout_s": cell_timeout_s, "fault_spec": fault_spec,
-        "trace": trace, "jobs": jobs,
+        "trace": trace, "jobs": jobs, "shards": shards,
         "cache_dir": str(cache_dir) if cache_dir is not None else None,
         "cache_max_bytes": cache_max_bytes,
     })
     resilience = dict(max_retries=max_retries,
                       cell_timeout_s=cell_timeout_s,
                       fault_spec=fault_spec,
+                      shards=shards,
                       cache_dir=cache_dir,
                       cache_max_bytes=cache_max_bytes)
     tracer = (Tracer(out_dir / "trace", resume=resume) if trace
@@ -411,6 +417,7 @@ def resume_paper_suite(out_dir: str | Path,
             fault_spec=params["fault_spec"],
             trace=params.get("trace", False),
             jobs=jobs if jobs is not None else params.get("jobs", 1),
+            shards=params.get("shards", 1),
             cache_dir=params.get("cache_dir"),
             cache_max_bytes=params.get("cache_max_bytes"))
     except KeyError as exc:

@@ -110,6 +110,16 @@ class ServiceError(ReproError):
     """
 
 
+class ShardError(ReproError):
+    """The sharded execution engine lost a worker or an arena.
+
+    Raised when a shard worker dies (crash, SIGKILL) or a superstep
+    barrier times out; the engine tears down its shared-memory segments
+    before raising, so an aborted sharded run never leaks ``/dev/shm``
+    entries or resource-tracker warnings.
+    """
+
+
 class DashboardError(ReproError):
     """The live dashboard was misconfigured or failed to start
     (nothing to watch, port in use).

@@ -19,6 +19,12 @@ replaces that machine with a deterministic model:
 Kernels always compute *real* results; only the clock is simulated.
 """
 
+from repro.machine.comm import (
+    CommCostParams,
+    CommProfile,
+    ShardSimResult,
+    simulate_sharded,
+)
 from repro.machine.spec import MachineSpec, haswell_server, laptop
 from repro.machine.threads import (
     CostParams,
@@ -39,4 +45,8 @@ __all__ = [
     "SimResult",
     "ThreadModel",
     "VarianceModel",
+    "CommCostParams",
+    "CommProfile",
+    "ShardSimResult",
+    "simulate_sharded",
 ]

@@ -48,6 +48,12 @@ METRIC_HELP = {
         "Edges expanded through the shared frontier gather, per kernel.",
     "epg_kernel_scratch_reuse":
         "Kernel scratch buffers served without a fresh allocation.",
+    "epg_shard_rounds_total":
+        "Supersteps executed by the sharded engine, per kernel.",
+    "epg_shard_bytes_total":
+        "Bytes exchanged between shards (frontiers plus ring messages).",
+    "epg_shard_cut_edges":
+        "Arcs crossing shard boundaries under the active partition.",
     "epg_serve_requests_total":
         "Daemon HTTP requests by endpoint and status code.",
     "epg_serve_shed_total":

@@ -65,6 +65,10 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 8750
     workers: int = 2
+    #: Shards per kernel execution (``--shards``): forwarded to every
+    #: resident system so queries split across cores; outputs stay
+    #: bit-identical to serial (see :mod:`repro.shard`).
+    shards: int = 1
     max_queue: int = 16
     max_inflight: int = 4
     request_timeout_s: float = 10.0
@@ -104,7 +108,8 @@ class QueryDaemon:
         self.manager = ResidentGraphManager(
             config.data_dir,
             max_resident_bytes=config.max_resident_bytes,
-            cache=cache, seed=config.seed, telemetry=self.telemetry)
+            cache=cache, seed=config.seed, telemetry=self.telemetry,
+            shards=config.shards)
         self.admission = AdmissionController(
             config.max_queue, config.max_inflight,
             telemetry=self.telemetry)

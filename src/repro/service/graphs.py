@@ -148,12 +148,16 @@ class ResidentGraphManager:
 
     def __init__(self, data_dir: str | Path, *,
                  max_resident_bytes: int | None = None,
-                 cache=None, seed: int = 20170402, telemetry=None):
+                 cache=None, seed: int = 20170402, telemetry=None,
+                 shards: int = 1):
         self.data_dir = Path(data_dir)
         self.max_resident_bytes = max_resident_bytes
         self.cache = cache
         self.seed = int(seed)
         self.telemetry = telemetry
+        #: Shards per kernel execution, forwarded to every resident
+        #: system (bit-identical outputs at any count).
+        self.shards = int(shards)
         self.manifest = ServedManifest.load(self.data_dir)
         #: name -> HomogenizedDataset of every published graph.
         self.datasets: dict[str, HomogenizedDataset] = {}
@@ -278,7 +282,8 @@ class ResidentGraphManager:
                 return entry
         # Load outside the lock: materializing a structure can take a
         # while and must not block queries on already-resident graphs.
-        sys_inst = create_system(system, n_threads=n_threads)
+        sys_inst = create_system(system, n_threads=n_threads,
+                                 shards=self.shards)
         loaded = sys_inst.load(dataset, cache=self.cache)
         nbytes = _estimate_resident_bytes(loaded)
         with self._lock:

@@ -1,0 +1,51 @@
+"""Sharded multi-process execution of single kernels.
+
+``repro.shard`` splits one graph across persistent worker processes so
+a *single* BFS/SSSP/PageRank execution spans cores -- the complement of
+:mod:`repro.parallel`, which fans out independent suite cells.  The
+package keeps the frontier library's hard bit-identity contract: a
+sharded run's output arrays, :class:`~repro.machine.threads.WorkProfile`
+unit counts, and the suite REPORT.md are byte-identical to the serial
+kernels at every shard count (see ``docs/sharding.md``).
+
+Layers:
+
+* :mod:`repro.shard.partition` -- 1-D contiguous / balanced-edge vertex
+  blocks and a PowerGraph-style greedy vertex-cut, all producing exact
+  per-shard CSR slices that reassemble byte-identically;
+* :mod:`repro.shard.shm` -- zero-copy array publication over
+  :mod:`multiprocessing.shared_memory` (the artifact cache's
+  memmap-bundle idiom, re-targeted at shared segments);
+* :mod:`repro.shard.ops` -- the per-shard superstep bodies, shared
+  verbatim between worker processes and the inline fallback;
+* :mod:`repro.shard.engine` -- the persistent worker pool, barrier
+  protocol, and preallocated delta rings;
+* :mod:`repro.shard.drivers` -- sharded ports of the serial kernels
+  (direction-optimizing BFS, bitmap BFS, delta-stepping SSSP, pull
+  PageRank).
+"""
+
+from repro.shard.drivers import (
+    shard_bfs_bitmap,
+    shard_delta_stepping,
+    shard_dobfs,
+    shard_pagerank,
+)
+from repro.shard.engine import ShardEngine, resolve_shards
+from repro.shard.partition import (
+    PARTITION_STRATEGIES,
+    ShardPartition,
+    partition_graph,
+)
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "ShardEngine",
+    "ShardPartition",
+    "partition_graph",
+    "resolve_shards",
+    "shard_bfs_bitmap",
+    "shard_delta_stepping",
+    "shard_dobfs",
+    "shard_pagerank",
+]

@@ -1,0 +1,495 @@
+"""The sharded superstep engine: persistent workers, semaphores, rings.
+
+One :class:`ShardEngine` owns a partitioned copy of a single graph:
+
+* a **static arena** (one shared-memory segment) holding every shard's
+  push/pull CSR slices plus the out-degree vector -- written once,
+  read-only for the engine's lifetime;
+* a **dynamic arena** holding the round state the parent and the shards
+  exchange: the rank/distance double buffer, visited / in-frontier
+  bitmaps, the broadcast frontier, two small control blocks, and one
+  preallocated ``(ids, values, header)`` delta ring per shard.
+
+Execution is parent-driven bulk-synchronous supersteps: the parent
+writes the op code and round inputs, posts one ``go`` token per worker,
+collects one ``done`` token per worker, then merges the per-shard rings
+with *exact* reductions (integer/float minima, disjoint scatters).  The
+round trip is plain semaphores rather than an ``mp.Barrier`` on
+purpose: a barrier hides a condition lock, and a worker SIGKILLed while
+holding it deadlocks every timed wait that follows -- a semaphore has
+no state a dead process can leave locked.  Workers are forked once
+(:func:`repro.parallel.scheduler`'s context -- the same fork preference
+as the suite's cell pool) and live until :meth:`ShardEngine.close`.
+
+Failure discipline: a worker exception lands in its ring header and the
+superstep completes normally (the parent raises
+:class:`~repro.errors.ShardError` after collecting the round, keeping
+the pool alive); a worker *death* (crash, SIGKILL) stalls the token
+collection, which the parent detects within its polling slice and
+converts into the same ``ShardError`` after tearing down workers and
+unlinking both arenas -- an aborted run leaves nothing in
+``/dev/shm``.
+
+When ``n_shards == 1`` -- or when process fan-out is unavailable
+(daemonic parent, e.g. a suite cell worker) -- the engine runs the very
+same :mod:`repro.shard.ops` bodies inline in-process, so every caller
+gets identical results through one code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.util
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError, ShardError
+from repro.graph.csr import CSRGraph
+from repro.parallel.scheduler import _mp_context, resolve_jobs
+from repro.shard import ops
+from repro.shard.partition import (
+    ShardPartition,
+    partition_graph,
+    shard_in_slice,
+    shard_out_slice,
+)
+from repro.shard.shm import ShmArena
+
+__all__ = ["ShardEngine", "resolve_shards", "DEFAULT_STEP_TIMEOUT_S",
+           "MESSAGE_BYTES"]
+
+#: Generous per-superstep deadline: kernels at suite scales finish each
+#: round in milliseconds, so a stuck round means a dead worker.
+DEFAULT_STEP_TIMEOUT_S = 120.0
+
+#: Accounting size of one exchanged delta: an int64 vertex id plus a
+#: float64 value, the rings' actual element width.
+MESSAGE_BYTES = 16
+
+#: How often an idle worker wakes to check whether its parent is still
+#: alive.  A worker orphaned by a hard-killed parent (which can never
+#: send ``OP_SHUTDOWN``) exits within one poll instead of blocking on
+#: ``go.acquire()`` forever.
+ORPHAN_POLL_S = 5.0
+
+#: ``multiprocessing.util.Finalize`` exit priorities (higher runs
+#: first): the engine's shutdown must precede the arenas' unlink guards
+#: (:data:`repro.shard.shm.ARENA_FINALIZE_PRIORITY`) so it still finds
+#: live mappings -- ``mmap`` unmaps even while ndarrays reference it,
+#: so the reverse order would segfault.
+ENGINE_FINALIZE_PRIORITY = 20
+
+
+def resolve_shards(shards: int | None) -> int:
+    """``None`` means "one shard per core" (the suite's single CPU-count
+    source, :func:`repro.parallel.scheduler.resolve_jobs`); otherwise
+    validate the count."""
+    if shards is None:
+        return resolve_jobs(None)
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    return int(shards)
+
+
+def _build_context(shard: int, n: int, arrays, weighted: bool,
+                   has_in: bool) -> ops.ShardContext:
+    """Assemble one shard's op context from an arena's (or an inline
+    dict's) arrays -- the single construction path for both modes."""
+    return ops.ShardContext(
+        shard, n,
+        out_row_ptr=arrays[f"o{shard}_rp"],
+        out_col_idx=arrays[f"o{shard}_ci"],
+        out_weights=arrays[f"o{shard}_w"] if weighted else None,
+        owned=arrays[f"i{shard}_own"] if has_in else None,
+        in_row_ptr=arrays[f"i{shard}_rp"] if has_in else None,
+        in_col_idx=arrays[f"i{shard}_ci"] if has_in else None,
+        out_degrees=arrays["outdeg"] if has_in else None,
+        vec=arrays["vec"], vec2=arrays["vec2"],
+        visited=arrays["visited"], in_frontier=arrays["in_frontier"],
+        frontier=arrays["frontier"], ctrl_i=arrays["ctrl_i"],
+        ctrl_f=arrays["ctrl_f"], ring_ids=arrays[f"r{shard}_ids"],
+        ring_val=arrays[f"r{shard}_val"], ring_hdr=arrays[f"r{shard}_hdr"])
+
+
+def _worker_main(shard: int, n: int, static_spec, dyn_spec,
+                 go, done, weighted: bool, has_in: bool) -> None:
+    """Worker loop: attach arenas, then serve supersteps until told to
+    shut down.  Each round is one ``go`` token in, one ``done`` token
+    out -- plain semaphores, nothing a SIGKILLed sibling can leave
+    locked (an ``mp.Barrier`` hides a condition lock that dies with
+    its holder and deadlocks everyone else).  Op exceptions are already
+    recorded in the ring header by :func:`~repro.shard.ops.run_op`; the
+    loop swallows them so the worker always posts its token."""
+    # The suite's cell-pool workers set SIGTERM to SIG_IGN (so a
+    # checkpointing parent can drain them); a shard worker forked from
+    # one inherits that and would then survive the ``terminate()``
+    # that ``multiprocessing.util._exit_function`` sends daemonic
+    # children -- deadlocking the join that follows.  Restore the
+    # default so this worker is always reapable.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    ppid = os.getppid()
+    static = ShmArena.attach(static_spec)
+    dyn = ShmArena.attach(dyn_spec)
+    arrays = dict(static.arrays)
+    arrays.update(dyn.arrays)
+    ctx = _build_context(shard, n, arrays, weighted, has_in)
+    try:
+        while True:
+            while not go.acquire(True, ORPHAN_POLL_S):
+                if os.getppid() != ppid:
+                    return  # orphaned: parent died, shutdown never comes
+            op = int(ctx.ctrl_i[ops.CTRL_OP])
+            if op == ops.OP_SHUTDOWN:
+                break
+            try:
+                ops.run_op(ctx, op)
+            except Exception:
+                pass
+            done.release()
+    finally:
+        del ctx, arrays
+        static.close()
+        dyn.close()
+
+
+class ShardEngine:
+    """Persistent sharded executor for one graph.
+
+    Parameters
+    ----------
+    out:
+        The graph's out-CSR (push direction).
+    inn:
+        Optional in-CSR (pull direction).  Required for bottom-up BFS
+        and PageRank; ``None`` builds a push-only engine (Graph500).
+    n_shards, strategy:
+        Partitioning (see :mod:`repro.shard.partition`).
+    inline:
+        Force (``True``) or forbid (``False``) the in-process path;
+        ``None`` auto-selects: inline when ``n_shards == 1`` or the
+        current process cannot fork workers.
+    """
+
+    def __init__(self, out: CSRGraph, inn: CSRGraph | None = None, *,
+                 n_shards: int | None = None,
+                 strategy: str = "edge_blocks",
+                 step_timeout_s: float = DEFAULT_STEP_TIMEOUT_S,
+                 inline: bool | None = None):
+        self.n_shards = resolve_shards(n_shards)
+        self.n = out.n_vertices
+        self.weighted = out.weights is not None
+        self.has_in = inn is not None
+        self.step_timeout_s = float(step_timeout_s)
+        self.partition: ShardPartition = partition_graph(
+            out, self.n_shards, strategy)
+        if inline is None:
+            inline = (self.n_shards == 1
+                      or multiprocessing.current_process().daemon)
+        self.inline = bool(inline)
+        self._closed = False
+        #: Exchange accounting for the comm cost model and the
+        #: ``epg_shard_*`` metrics (reset per kernel by the drivers).
+        self.rounds = 0
+        self.bytes_exchanged = 0
+
+        static = self._build_static(out, inn)
+        dyn = self._build_dynamic()
+        self._static_arena = None
+        self._dyn_arena = None
+        self._workers: list = []
+        if self.inline:
+            arrays = dict(static)
+            arrays.update(dyn)
+            self._arrays = arrays
+            self._contexts = [
+                _build_context(k, self.n, arrays, self.weighted,
+                               self.has_in)
+                for k in range(self.n_shards)]
+        else:
+            self._static_arena = ShmArena.create(static)
+            self._dyn_arena = ShmArena.create(dyn)
+            arrays = dict(self._static_arena.arrays)
+            arrays.update(self._dyn_arena.arrays)
+            self._arrays = arrays
+            self._contexts = []
+            ctx = _mp_context()
+            #: One release per worker per superstep; per-worker so a
+            #: token can never be stolen by a sibling.
+            self._go = [ctx.Semaphore(0) for _ in range(self.n_shards)]
+            #: One completion token per worker per superstep.
+            self._done = ctx.Semaphore(0)
+            try:
+                for k in range(self.n_shards):
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(k, self.n, self._static_arena.spec,
+                              self._dyn_arena.spec, self._go[k],
+                              self._done, self.weighted,
+                              self.has_in),
+                        daemon=True,
+                        name=f"epg-shard-{k}")
+                    proc.start()
+                    self._workers.append(proc)
+            except Exception:
+                self.close()
+                raise
+            # A multiprocessing finalizer, NOT plain atexit: forked
+            # children exit through ``os._exit`` (atexit never runs
+            # there), and ``util._exit_function`` joins live children
+            # *before* plain-atexit handlers would fire in the parent.
+            # Finalizers with priority >= 0 run first in both paths,
+            # so the pool is always shut down before anything joins or
+            # unmaps -- exitpriority orders us ahead of the arenas'
+            # unlink guards.
+            self._exit_guard = multiprocessing.util.Finalize(
+                None, self.close, exitpriority=ENGINE_FINALIZE_PRIORITY)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_static(self, out: CSRGraph,
+                      inn: CSRGraph | None) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {}
+        for k in range(self.n_shards):
+            sl = shard_out_slice(out, self.partition, k)
+            arrays[f"o{k}_rp"] = sl.row_ptr
+            arrays[f"o{k}_ci"] = sl.col_idx
+            if self.weighted:
+                arrays[f"o{k}_w"] = sl.weights
+            if inn is not None:
+                owned, isl = shard_in_slice(inn, self.partition, k)
+                arrays[f"i{k}_own"] = owned
+                arrays[f"i{k}_rp"] = isl.row_ptr
+                arrays[f"i{k}_ci"] = isl.col_idx
+        if inn is not None:
+            arrays["outdeg"] = out.out_degrees().astype(np.float64)
+        return arrays
+
+    def _build_dynamic(self) -> dict[str, np.ndarray]:
+        n = self.n
+        arrays: dict[str, np.ndarray] = {
+            "ctrl_i": np.zeros(16, dtype=np.int64),
+            "ctrl_f": np.zeros(8),
+            "vec": np.zeros(n),
+            "vec2": np.zeros(n),
+            "visited": np.zeros(n, dtype=bool),
+            "in_frontier": np.zeros(n, dtype=bool),
+            "frontier": np.zeros(n + 1, dtype=np.int64),
+        }
+        for k in range(self.n_shards):
+            arrays[f"r{k}_ids"] = np.zeros(n + 1, dtype=np.int64)
+            arrays[f"r{k}_val"] = np.zeros(n + 1)
+            arrays[f"r{k}_hdr"] = np.zeros(8, dtype=np.int64)
+        return arrays
+
+    # ------------------------------------------------------------------
+    # Shared round state (drivers mutate these directly)
+    # ------------------------------------------------------------------
+    @property
+    def vec(self) -> np.ndarray:
+        return self._arrays["vec"]
+
+    @property
+    def vec2(self) -> np.ndarray:
+        return self._arrays["vec2"]
+
+    @property
+    def visited(self) -> np.ndarray:
+        return self._arrays["visited"]
+
+    @property
+    def in_frontier(self) -> np.ndarray:
+        return self._arrays["in_frontier"]
+
+    def reset_stats(self) -> None:
+        self.rounds = 0
+        self.bytes_exchanged = 0
+
+    # ------------------------------------------------------------------
+    # Superstep protocol
+    # ------------------------------------------------------------------
+    def _superstep(self, op: int, frontier: np.ndarray | None = None,
+                   mode: int = 0) -> list[tuple[np.ndarray, np.ndarray,
+                                                int]]:
+        """Run one op on every shard; return per-shard
+        ``(ids, values, examined)`` ring contents."""
+        if self._closed:
+            raise ShardError("engine is closed")
+        a = self._arrays
+        ctrl_i = a["ctrl_i"]
+        k = 0
+        if frontier is not None:
+            k = frontier.size
+            a["frontier"][:k] = frontier
+        ctrl_i[ops.CTRL_FRONT_LEN] = k
+        ctrl_i[ops.CTRL_MODE] = mode
+        ctrl_i[ops.CTRL_OP] = op
+
+        if self.inline:
+            for ctx in self._contexts:
+                try:
+                    ops.run_op(ctx, op)
+                except Exception:
+                    pass
+        else:
+            for sem in self._go:
+                sem.release()
+            deadline = time.monotonic() + self.step_timeout_s
+            pending = self.n_shards
+            while pending:
+                # Short slices so worker deaths surface promptly; a
+                # plain semaphore acquire cannot deadlock on a lock a
+                # SIGKILLed worker took with it.
+                if self._done.acquire(True, 0.05):
+                    pending -= 1
+                    continue
+                dead = [p.name for p in self._workers
+                        if not p.is_alive()]
+                if dead or time.monotonic() > deadline:
+                    self.close()
+                    raise ShardError(
+                        "sharded superstep stalled"
+                        + (f" (dead workers: {', '.join(dead)})"
+                           if dead else
+                           f" (timeout after {self.step_timeout_s}s)"))
+
+        results = []
+        exchanged = k * 8 * self.n_shards  # broadcast frontier
+        for s in range(self.n_shards):
+            hdr = a[f"r{s}_hdr"]
+            if hdr[ops.HDR_ERROR]:
+                # The worker is fine (it posted its token); only the
+                # op failed.  Keep the pool alive -- the next kernel
+                # reinitializes all round state, and run_op clears the
+                # flag on entry.
+                raise ShardError(f"shard {s} op {op} failed "
+                                 "(see worker stderr)")
+            count = int(hdr[ops.HDR_COUNT])
+            results.append((a[f"r{s}_ids"][:count],
+                            a[f"r{s}_val"][:count],
+                            int(hdr[ops.HDR_EXAMINED])))
+            exchanged += count * MESSAGE_BYTES
+        self.rounds += 1
+        self.bytes_exchanged += exchanged
+        return results
+
+    @staticmethod
+    def _merge_min(rings) -> tuple[np.ndarray, np.ndarray]:
+        """Global exact minimum per id across shard rings (handles the
+        cross-shard duplicate targets a vertex-cut produces)."""
+        all_ids = np.concatenate([r[0] for r in rings])
+        all_val = np.concatenate([r[1] for r in rings])
+        if all_ids.size == 0:
+            return all_ids, all_val
+        return ops._min_per_id(all_ids, all_val)
+
+    # ------------------------------------------------------------------
+    # Kernel-facing supersteps
+    # ------------------------------------------------------------------
+    def top_down(self, frontier: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray, int]:
+        """One top-down BFS expansion.  Returns ``(new_vertices,
+        parents, edges_examined)``: the global minimum frontier source
+        per still-unvisited target -- exactly the serial
+        ``claim_first_parent`` winner -- in sorted target order."""
+        rings = self._superstep(ops.OP_TD, frontier=frontier)
+        ids, val = self._merge_min(rings)
+        examined = sum(r[2] for r in rings)
+        return ids, val.astype(np.int64), examined
+
+    def bottom_up(self, frontier: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray, int]:
+        """One bottom-up BFS sweep over every shard's unvisited owned
+        vertices.  Owners partition the vertex space, so shard results
+        are disjoint; each shard scans *complete* in-rows, making its
+        early-exit examined counts sum to the serial count."""
+        f = self._arrays["in_frontier"]
+        f[:] = False
+        f[frontier] = True
+        rings = self._superstep(ops.OP_BU)
+        ids = np.concatenate([r[0] for r in rings])
+        val = np.concatenate([r[1] for r in rings])
+        order = np.argsort(ids, kind="stable")
+        examined = sum(r[2] for r in rings)
+        return ids[order], val[order].astype(np.int64), examined
+
+    def relax(self, members: np.ndarray, mode: int
+              ) -> tuple[np.ndarray, np.ndarray, int]:
+        """One delta-stepping relaxation over ``members``'s (light /
+        heavy / all) arcs against the shared distance vector
+        (:attr:`vec`).  Returns improved destinations (sorted), their
+        exact new minima, and the relaxed-arc count; the caller applies
+        the scatter, keeping the parent the single writer of ``vec``."""
+        rings = self._superstep(ops.OP_RELAX, frontier=members,
+                                mode=mode)
+        ids, val = self._merge_min(rings)
+        examined = sum(r[2] for r in rings)
+        return ids, val, examined
+
+    def pagerank_sweep(self, dangling_mass: float, base: float,
+                       damping: float) -> None:
+        """One power-iteration sweep: each shard scatters its owned
+        slice of the new rank vector into :attr:`vec2` (owners are
+        disjoint, so this *is* the allreduce), reading ranks from
+        :attr:`vec`."""
+        a = self._arrays
+        a["ctrl_f"][ops.CTRL_DANGLING] = dangling_mass
+        a["ctrl_f"][ops.CTRL_BASE] = base
+        a["ctrl_f"][ops.CTRL_DAMPING] = damping
+        self._superstep(ops.OP_PR)
+        # Each rank entry crosses once: the owner writes it, the parent
+        # reads it for the residual and rebroadcasts.
+        self.bytes_exchanged += self.n * 8
+
+    def set_delta(self, delta: float) -> None:
+        self._arrays["ctrl_f"][ops.CTRL_DELTA] = delta
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut workers down and unlink both arenas (idempotent; also
+        runs as an exit finalizer when the owner never calls it)."""
+        if self._closed:
+            return
+        self._closed = True
+        guard = self.__dict__.get("_exit_guard")
+        if guard is not None:
+            guard.cancel()
+        try:
+            if self._workers:
+                try:
+                    if (self._dyn_arena is not None
+                            and not self._dyn_arena.closed):
+                        self._arrays["ctrl_i"][ops.CTRL_OP] = \
+                            ops.OP_SHUTDOWN
+                        for sem in self._go:
+                            sem.release()
+                except Exception:
+                    pass
+                for proc in self._workers:
+                    proc.join(timeout=2.0)
+                    if proc.is_alive():
+                        proc.terminate()
+                        proc.join(timeout=2.0)
+        finally:
+            self._workers = []
+            self._contexts = []
+            self._arrays = {}
+            if self._static_arena is not None:
+                self._static_arena.destroy()
+            if self._dyn_arena is not None:
+                self._dyn_arena.destroy()
+
+    def __enter__(self) -> "ShardEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort backstop
+        try:
+            self.close()
+        except Exception:
+            pass

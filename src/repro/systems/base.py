@@ -96,14 +96,61 @@ class GraphSystem(ABC):
     kronecker_only: ClassVar[bool] = False
 
     def __init__(self, machine: MachineSpec | None = None,
-                 n_threads: int = 32):
+                 n_threads: int = 32, shards: int = 1,
+                 shard_strategy: str = "edge_blocks"):
         if n_threads < 1:
             raise SystemCapabilityError("n_threads must be >= 1")
+        if shards < 1:
+            raise SystemCapabilityError("shards must be >= 1")
         self.machine = machine or haswell_server()
         self.n_threads = int(n_threads)
+        #: Multi-process execution width for the kernels that shard
+        #: (``repro.shard``); 1 = the serial kernels.  Orthogonal to
+        #: ``n_threads``, which is the *simulated* thread count being
+        #: priced -- sharding changes who computes, never the numbers.
+        self.shards = int(shards)
+        self.shard_strategy = shard_strategy
         self.thread_model = ThreadModel(self.machine)
         #: Observability hook; the runner swaps in its live tracer.
         self.tracer = Tracer()
+
+    # ------------------------------------------------------------------
+    # Sharded execution support
+    # ------------------------------------------------------------------
+    def _shard_engine(self, loaded: "LoadedGraph", out, inn=None):
+        """The persistent :class:`~repro.shard.engine.ShardEngine` for
+        ``loaded``, created on first use and cached *on the loaded
+        graph* so it lives exactly as long as the resident graph does
+        (the engine's ``__del__``/atexit guards reap workers and
+        shared-memory segments when the graph is evicted)."""
+        from repro.shard.engine import ShardEngine
+
+        engines = loaded.__dict__.setdefault("_shard_engines", {})
+        key = (self.shards, self.shard_strategy, inn is not None)
+        engine = engines.get(key)
+        if engine is None or engine._closed:
+            engine = ShardEngine(out, inn, n_shards=self.shards,
+                                 strategy=self.shard_strategy)
+            engines[key] = engine
+        return engine
+
+    def _note_shard_exchange(self, algorithm: str, engine) -> None:
+        """Publish the engine's per-kernel exchange accounting as
+        ``epg_shard_*`` counters (logged: they flow to events.jsonl,
+        the live registry, and the dashboard's metrics pages; the
+        REPORT reads none of them, preserving byte-identity)."""
+        labels = {"system": self.name, "algorithm": algorithm,
+                  "shards": engine.n_shards}
+        if engine.rounds:
+            self.tracer.counter("epg_shard_rounds_total",
+                                float(engine.rounds), **labels)
+        if engine.bytes_exchanged:
+            self.tracer.counter("epg_shard_bytes_total",
+                                float(engine.bytes_exchanged), **labels)
+        if engine.partition.cut_edges:
+            self.tracer.counter("epg_shard_cut_edges",
+                                float(engine.partition.cut_edges),
+                                **labels)
 
     # ------------------------------------------------------------------
     # Capabilities

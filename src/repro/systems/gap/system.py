@@ -43,8 +43,10 @@ class GapSystem(GraphSystem):
 
     def __init__(self, machine=None, n_threads: int = 32,
                  use_serialized: bool = False,
-                 weight_dtype: str = "float64"):
-        super().__init__(machine=machine, n_threads=n_threads)
+                 weight_dtype: str = "float64", shards: int = 1,
+                 shard_strategy: str = "edge_blocks"):
+        super().__init__(machine=machine, n_threads=n_threads,
+                         shards=shards, shard_strategy=shard_strategy)
         self.use_serialized = use_serialized
         if use_serialized:
             self.input_key = "wsg"
@@ -116,14 +118,33 @@ class GapSystem(GraphSystem):
     # -- kernels -------------------------------------------------------
     def _run_bfs(self, loaded, root: int, alpha: float = DEFAULT_ALPHA,
                  beta: float = DEFAULT_BETA):
-        parent, level, profile, stats = dobfs(
-            loaded.data, root, alpha=alpha, beta=beta)
+        if self.shards > 1:
+            from repro.shard.drivers import shard_dobfs
+
+            engine = self._shard_engine(loaded, loaded.data.out,
+                                        loaded.data.inn)
+            parent, level, profile, stats = shard_dobfs(
+                loaded.data, root, engine, alpha=alpha, beta=beta)
+            self._note_shard_exchange("bfs", engine)
+        else:
+            parent, level, profile, stats = dobfs(
+                loaded.data, root, alpha=alpha, beta=beta)
         counters = {"depth": float(stats["depth"])}
         counters["bottom_up_steps"] = float(stats["steps"].count("B"))
         return ({"parent": parent, "level": level}, profile, None, counters)
 
     def _run_sssp(self, loaded, root: int, delta: float = DEFAULT_DELTA):
-        dist, profile, stats = delta_stepping(loaded.data, root, delta=delta)
+        if self.shards > 1:
+            from repro.shard.drivers import shard_delta_stepping
+
+            engine = self._shard_engine(loaded, loaded.data.out,
+                                        loaded.data.inn)
+            dist, profile, stats = shard_delta_stepping(
+                loaded.data, root, engine, delta=delta)
+            self._note_shard_exchange("sssp", engine)
+        else:
+            dist, profile, stats = delta_stepping(loaded.data, root,
+                                                  delta=delta)
         counters = {"phases": float(stats["phases"]),
                     "relaxations": float(stats["relaxations"])}
         return ({"dist": dist}, profile, None, counters)

@@ -87,7 +87,15 @@ class Graph500System(GraphSystem):
 
     # -- kernels -------------------------------------------------------
     def _run_bfs(self, loaded, root: int):
-        parent, level, profile, stats = bfs_bitmap(loaded.data, root)
+        if self.shards > 1:
+            from repro.shard.drivers import shard_bfs_bitmap
+
+            engine = self._shard_engine(loaded, loaded.data)
+            parent, level, profile, stats = shard_bfs_bitmap(
+                loaded.data, root, engine)
+            self._note_shard_exchange("bfs", engine)
+        else:
+            parent, level, profile, stats = bfs_bitmap(loaded.data, root)
         counters = {"depth": float(stats["depth"]),
                     "edges_examined": float(stats["edges_examined"])}
         return ({"parent": parent, "level": level}, profile, None, counters)

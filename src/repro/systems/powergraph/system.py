@@ -58,8 +58,12 @@ class PowerGraphSystem(GraphSystem):
 
     def __init__(self, machine=None, n_threads: int = 32,
                  n_partitions: int | None = None,
-                 engine: str = "sync"):
-        super().__init__(machine=machine, n_threads=n_threads)
+                 engine: str = "sync", shards: int = 1,
+                 shard_strategy: str = "edge_blocks"):
+        # ``shards`` accepted for interface homogeneity; PowerGraph's
+        # GAS programs model their own partitioned execution already.
+        super().__init__(machine=machine, n_threads=n_threads,
+                         shards=shards, shard_strategy=shard_strategy)
         #: One partition per fiber-hosting thread by default.
         self.n_partitions = n_partitions or max(n_threads, 2)
         if engine not in ("sync", "async"):

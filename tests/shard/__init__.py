@@ -1,0 +1,1 @@
+"""Sharded engine tests."""

@@ -1,0 +1,310 @@
+"""Engine lifecycle: worker pool, shared-memory hygiene, failure paths.
+
+The crash tests run in subprocesses so a SIGKILLed worker or an
+exit-without-close can be observed from outside: clean stderr (no
+resource-tracker noise, no tracebacks), exit code 0 where promised,
+and nothing left behind in ``/dev/shm``.
+"""
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShardError
+from repro.graph.csr import CSRGraph
+from repro.parallel.scheduler import resolve_jobs
+from repro.shard.engine import ShardEngine, resolve_shards
+from repro.shard.shm import ArenaSpec, ShmArena
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _graph(n=300, m=1500, seed=1, weighted=True):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    w = rng.uniform(0.001, 1.0, size=m) if weighted else None
+    out = CSRGraph.from_arrays(src, dst, n, weights=w)
+    inn = CSRGraph.from_arrays(dst, src, n, weights=w)
+    return out, inn
+
+
+def _run_script(body: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run([sys.executable, "-c", textwrap.dedent(body)],
+                          capture_output=True, text=True, timeout=120,
+                          env=env)
+
+
+# ----------------------------------------------------------------------
+# resolve_shards
+# ----------------------------------------------------------------------
+def test_resolve_shards_defaults_to_core_count():
+    assert resolve_shards(None) == resolve_jobs(None)
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_resolve_shards_rejects_nonpositive(bad):
+    with pytest.raises(ConfigError):
+        resolve_shards(bad)
+
+
+# ----------------------------------------------------------------------
+# Arena basics
+# ----------------------------------------------------------------------
+def test_arena_roundtrip_and_idempotent_destroy():
+    arrays = {"a": np.arange(7, dtype=np.int64),
+              "b": np.linspace(0, 1, 5),
+              "c": np.zeros(3, dtype=bool)}
+    arena = ShmArena.create(arrays)
+    try:
+        for key, arr in arrays.items():
+            assert np.array_equal(arena[key], arr)
+        other = ShmArena.attach(arena.spec)
+        other["a"][0] = 99
+        assert arena["a"][0] == 99  # same pages, no copy
+        other.close()
+    finally:
+        arena.destroy()
+        arena.destroy()  # idempotent
+    assert arena.closed
+
+
+def test_attach_to_vanished_segment_raises():
+    spec = ArenaSpec(segment="epg-shard-definitely-not-there",
+                     layout=(("x", "<i8", (1,), 0),))
+    with pytest.raises(ShardError, match="vanished"):
+        ShmArena.attach(spec)
+
+
+# ----------------------------------------------------------------------
+# Engine lifecycle
+# ----------------------------------------------------------------------
+def test_process_pool_spawns_and_closes():
+    out, inn = _graph()
+    engine = ShardEngine(out, inn, n_shards=2, inline=False)
+    assert not engine.inline
+    assert len(engine._workers) == 2
+    assert all(p.is_alive() for p in engine._workers)
+    engine.close()
+    assert not engine._workers
+    engine.close()  # idempotent
+    assert os.listdir("/dev/shm") == []
+
+
+def test_context_manager_cleans_up():
+    out, inn = _graph()
+    with ShardEngine(out, inn, n_shards=2, inline=False) as engine:
+        assert any("epg-shard" in p.name for p in engine._workers)
+    assert os.listdir("/dev/shm") == []
+
+
+def test_inline_fallback_under_daemon_parent():
+    """A daemonic parent (e.g. a suite cell worker) cannot fork: the
+    engine must auto-select the inline path and still work."""
+    def child(q):
+        out, inn = _graph(n=60, m=200)
+        engine = ShardEngine(out, inn, n_shards=3)
+        q.put(engine.inline)
+        engine.close()
+
+    ctx = multiprocessing.get_context("fork")
+    q = ctx.Queue()
+    proc = ctx.Process(target=child, args=(q,), daemon=True)
+    proc.start()
+    inline = q.get(timeout=60)
+    proc.join(timeout=60)
+    assert inline is True
+    assert proc.exitcode == 0
+
+
+def test_inline_engine_has_no_segments():
+    out, inn = _graph()
+    engine = ShardEngine(out, inn, n_shards=4, inline=True)
+    assert engine._static_arena is None and engine._dyn_arena is None
+    assert len(engine._contexts) == 4
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# Failure paths (observed from outside)
+# ----------------------------------------------------------------------
+def test_sigkilled_worker_raises_shard_error_cleanly():
+    """SIGKILL one worker mid-pool: the next superstep must raise
+    ShardError naming the dead worker, leave /dev/shm empty, and emit
+    no tracker noise or stray tracebacks on stderr."""
+    proc = _run_script("""
+        import numpy as np, os, signal
+        from repro.errors import ShardError
+        from repro.graph.csr import CSRGraph
+        from repro.shard.engine import ShardEngine
+
+        rng = np.random.default_rng(1)
+        n, m = 300, 1500
+        out = CSRGraph.from_arrays(rng.integers(0, n, m),
+                                   rng.integers(0, n, m), n)
+        inn = CSRGraph.from_arrays(out.col_idx, out.source_ids(), n)
+        engine = ShardEngine(out, inn, n_shards=2, inline=False,
+                             step_timeout_s=5.0)
+        os.kill(engine._workers[0].pid, signal.SIGKILL)
+        try:
+            engine.top_down(np.array([0], dtype=np.int64))
+        except ShardError as exc:
+            assert "epg-shard-0" in str(exc), exc
+            print("SHARD_ERROR_OK")
+        assert os.listdir("/dev/shm") == []
+        print("SHM_CLEAN")
+    """)
+    assert proc.returncode == 0, proc.stderr
+    assert "SHARD_ERROR_OK" in proc.stdout
+    assert "SHM_CLEAN" in proc.stdout
+    assert "Traceback" not in proc.stderr
+    assert "resource_tracker" not in proc.stderr
+
+
+def test_exit_without_close_is_clean():
+    """Forgetting close(): the exit-finalizer chain (engine before
+    arenas) must
+    shut down without a segfault, tracker warnings, or leaked
+    segments."""
+    proc = _run_script("""
+        import numpy as np
+        from repro.graph.csr import CSRGraph
+        from repro.shard.engine import ShardEngine
+
+        rng = np.random.default_rng(0)
+        n, m = 300, 1500
+        out = CSRGraph.from_arrays(rng.integers(0, n, m),
+                                   rng.integers(0, n, m), n)
+        inn = CSRGraph.from_arrays(out.col_idx, out.source_ids(), n)
+        engine = ShardEngine(out, inn, n_shards=2, inline=False)
+        engine.top_down(np.array([0], dtype=np.int64))
+        print("DONE")  # exits with live workers and mapped arenas
+    """)
+    assert proc.returncode == 0, (proc.returncode, proc.stderr)
+    assert "DONE" in proc.stdout
+    assert "Traceback" not in proc.stderr
+    assert "resource_tracker" not in proc.stderr
+    assert os.listdir("/dev/shm") == []
+
+
+def test_pool_worker_hosting_engine_exits_cleanly():
+    """A non-daemonic ProcessPoolExecutor worker (the suite's --jobs
+    cell workers, which also SIG_IGN SIGTERM) hosting a process-backed
+    engine must shut down promptly at executor shutdown: its exit path
+    runs ``util._exit_function``, which joins children *before* plain
+    atexit would fire -- the engine's finalizer has to win that race
+    or the worker deadlocks forever (the --jobs x --shards
+    regression)."""
+    proc = _run_script("""
+        import signal
+        import numpy as np
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import get_context
+
+        def cell(_):
+            # The suite's cell workers ignore SIGTERM (checkpointing
+            # parents drain them); reproduce that hostile inheritance.
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            from repro.graph.csr import CSRGraph
+            from repro.shard.engine import ShardEngine
+            rng = np.random.default_rng(3)
+            n, m = 200, 800
+            out = CSRGraph.from_arrays(rng.integers(0, n, m),
+                                       rng.integers(0, n, m), n)
+            inn = CSRGraph.from_arrays(out.col_idx, out.source_ids(), n)
+            engine = ShardEngine(out, inn, n_shards=2, inline=False)
+            assert not engine.inline
+            ids, _, _ = engine.top_down(np.array([0], dtype=np.int64))
+            return int(ids.size)   # exit WITHOUT close(): the worker's
+                                   # finalizer chain must handle it
+
+        if __name__ == "__main__":
+            with ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=get_context("fork")) as pool:
+                assert pool.submit(cell, 0).result(timeout=60) > 0
+            print("POOL_SHUTDOWN_OK")
+        """)
+    assert proc.returncode == 0, (proc.returncode, proc.stderr)
+    assert "POOL_SHUTDOWN_OK" in proc.stdout
+    assert "Traceback" not in proc.stderr
+    assert "resource_tracker" not in proc.stderr
+    assert os.listdir("/dev/shm") == []
+
+
+def test_orphaned_workers_self_reap():
+    """SIGKILL the engine's owner: shard workers must notice the
+    parent is gone and exit on their own (no zombie pool blocked on a
+    ``go`` token that will never come), after which the shared
+    resource tracker sweeps the leaked segments."""
+    inner = textwrap.dedent("""
+        import numpy as np, os, sys, time
+        import repro.shard.engine as engine_mod
+        from repro.graph.csr import CSRGraph
+
+        engine_mod.ORPHAN_POLL_S = 0.3
+        rng = np.random.default_rng(5)
+        n, m = 200, 800
+        out = CSRGraph.from_arrays(rng.integers(0, n, m),
+                                   rng.integers(0, n, m), n)
+        inn = CSRGraph.from_arrays(out.col_idx, out.source_ids(), n)
+        engine = engine_mod.ShardEngine(out, inn, n_shards=2,
+                                        inline=False)
+        print(" ".join(str(p.pid) for p in engine._workers),
+              flush=True)
+        time.sleep(120)   # parent is SIGKILLed long before this ends
+    """)
+    env = dict(os.environ, PYTHONPATH=SRC)
+    owner = subprocess.Popen([sys.executable, "-c", inner], env=env,
+                             stdout=subprocess.PIPE, text=True)
+    try:
+        pids = [int(p) for p in owner.stdout.readline().split()]
+        assert len(pids) == 2
+        os.kill(owner.pid, signal.SIGKILL)
+        owner.wait(timeout=30)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            alive = [p for p in pids if _pid_alive(p)]
+            if not alive and os.listdir("/dev/shm") == []:
+                break
+            time.sleep(0.2)
+        assert not alive, f"orphaned shard workers survived: {alive}"
+        assert os.listdir("/dev/shm") == []
+    finally:
+        owner.stdout.close()
+        for p in pids:
+            if _pid_alive(p):
+                os.kill(p, signal.SIGKILL)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def test_worker_exception_surfaces_without_breaking_pool():
+    """An op exception lands in the ring header, raises ShardError in
+    the parent, and the pool keeps serving supersteps afterwards."""
+    out, inn = _graph()
+    with ShardEngine(out, inn, n_shards=2, inline=False) as engine:
+        with pytest.raises(ShardError, match="shard"):
+            # Out-of-range frontier ids make the gather throw inside
+            # the worker.
+            engine.top_down(np.array([10 ** 9], dtype=np.int64))
+        ids, _, examined = engine.top_down(np.array([0], dtype=np.int64))
+        assert np.all(np.diff(ids) > 0)
+        assert examined >= ids.size

@@ -1,0 +1,127 @@
+"""--shards plumbing: systems, config, CLI, suite manifest, serve.
+
+The outer contract: a sharded run must be indistinguishable from a
+serial one everywhere results are recorded (outputs, priced times,
+counters, provenance digests), while the knob itself reaches every
+execution layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.errors import ConfigError
+from repro.service.daemon import ServeConfig
+from repro.service.graphs import ResidentGraphManager
+from repro.systems.registry import create_system
+
+
+@pytest.fixture(scope="module")
+def kron_ds(tmp_path_factory):
+    from repro.datasets.homogenize import homogenize
+    from repro.datasets.kronecker import KroneckerSpec, generate_kronecker
+
+    el = generate_kronecker(KroneckerSpec(scale=9, weighted=True))
+    return homogenize(el, tmp_path_factory.mktemp("shard-kron"))
+
+
+@pytest.mark.parametrize("system,algos", [("gap", ("bfs", "sssp")),
+                                          ("graph500", ("bfs",))])
+def test_system_results_identical_under_sharding(kron_ds, system, algos):
+    serial = create_system(system, n_threads=4)
+    sharded = create_system(system, n_threads=4, shards=2)
+    l0 = serial.load(kron_ds)
+    l1 = sharded.load(kron_ds)
+    for algo in algos:
+        for root in (0, 3):
+            r0 = serial.run(l0, algo, root=root)
+            r1 = sharded.run(l1, algo, root=root)
+            assert r0.time_s == r1.time_s
+            assert r0.iterations == r1.iterations
+            assert r0.counters == r1.counters
+            for key in r0.output:
+                assert np.array_equal(r0.output[key], r1.output[key])
+
+
+def test_shard_metrics_emitted_only_when_sharded(kron_ds, tmp_path):
+    from repro.observability import Tracer
+
+    serial = create_system("gap", n_threads=4)
+    sharded = create_system("gap", n_threads=4, shards=2)
+    # The default tracer is a no-op; give each a live one, as the
+    # runner does.
+    serial.tracer = Tracer(tmp_path / "serial")
+    sharded.tracer = Tracer(tmp_path / "sharded")
+    serial.run(serial.load(kron_ds), "bfs", root=0)
+    sharded.run(sharded.load(kron_ds), "bfs", root=0)
+    assert serial.tracer.metrics.counter(
+        "epg_shard_rounds_total").total() == 0
+    rounds = sharded.tracer.metrics.counter("epg_shard_rounds_total")
+    nbytes = sharded.tracer.metrics.counter("epg_shard_bytes_total")
+    assert rounds.value(system="gap", algorithm="bfs", shards=2) > 0
+    assert nbytes.value(system="gap", algorithm="bfs", shards=2) > 0
+
+
+def test_engine_cached_on_loaded_graph(kron_ds):
+    system = create_system("gap", n_threads=4, shards=2)
+    loaded = system.load(kron_ds)
+    system.run(loaded, "bfs", root=0)
+    engines = loaded.__dict__["_shard_engines"]
+    assert len(engines) == 1
+    system.run(loaded, "sssp", root=0)
+    assert len(engines) == 1  # bfs and sssp share the pull engine
+    engine = next(iter(engines.values()))
+    system.run(loaded, "bfs", root=1)
+    assert next(iter(engines.values())) is engine  # reused, not rebuilt
+    engine.close()
+
+
+def test_experiment_config_shards(tmp_path):
+    cfg = ExperimentConfig(output_dir=tmp_path, shards=4)
+    assert cfg.shards == 4
+    # An execution detail: never in provenance dicts.
+    assert "shards" not in cfg.to_dict()
+    with pytest.raises(ConfigError, match="shards"):
+        ExperimentConfig(output_dir=tmp_path, shards=0)
+
+
+def test_system_rejects_bad_shards():
+    from repro.errors import SystemCapabilityError
+
+    with pytest.raises(SystemCapabilityError):
+        create_system("gap", shards=0)
+
+
+def test_cli_exposes_shards():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["run", "--output", "/tmp/x", "--shards",
+                              "4"])
+    assert args.shards == 4
+    args = parser.parse_args(["serve", "--data-dir", "/tmp/x",
+                              "--shards", "2"])
+    assert args.shards == 2
+
+
+def test_serve_manager_forwards_shards(tmp_path, monkeypatch):
+    cfg = ServeConfig(data_dir=tmp_path, shards=3)
+    assert cfg.shards == 3
+    mgr = ResidentGraphManager(tmp_path, shards=3)
+    assert mgr.shards == 3
+
+    seen = {}
+
+    def fake_create(system, **kwargs):
+        seen.update(kwargs)
+        raise RuntimeError("stop here")
+
+    import repro.service.graphs as graphs_mod
+
+    monkeypatch.setattr(graphs_mod, "create_system", fake_create)
+    monkeypatch.setattr(mgr, "datasets", {"g": object()})
+    monkeypatch.setattr(graphs_mod, "available_systems",
+                        lambda: ["gap"])
+    with pytest.raises(RuntimeError, match="stop here"):
+        mgr._acquire("g", "gap", 4)
+    assert seen.get("shards") == 3
